@@ -1,0 +1,53 @@
+"""Bench: ablation of VW-SDK's two ingredients (DESIGN.md ablations).
+
+VW-SDK = SDK + rectangular windows + partial-channel tiling.  These
+benches disable one ingredient at a time on both paper networks and
+print the resulting totals, quantifying where the 1.49x/1.69x over SDK
+actually comes from.
+"""
+
+from repro.core import PIMArray
+from repro.networks import resnet18, vgg13
+from repro.search import (
+    vwsdk_full_channels_only,
+    vwsdk_solution,
+    vwsdk_square_only,
+)
+
+ARRAY = PIMArray.square(512)
+
+
+def _network_total(network, solver):
+    return sum(solver(layer, ARRAY).cycles for layer in network)
+
+
+def test_ablation_square_windows_only(benchmark):
+    """Channel tiling without rectangles (square windows only)."""
+    totals = benchmark(
+        lambda: {net.name: _network_total(net, vwsdk_square_only)
+                 for net in (vgg13(), resnet18())})
+    full = {net.name: _network_total(net, vwsdk_solution)
+            for net in (vgg13(), resnet18())}
+    print()
+    for name in totals:
+        print(f"{name}: square-only={totals[name]}  full VW-SDK={full[name]}"
+              f"  rectangles save "
+              f"{100 * (1 - full[name] / totals[name]):.1f}%")
+        assert totals[name] >= full[name]
+    benchmark.extra_info["totals"] = totals
+
+
+def test_ablation_full_channels_only(benchmark):
+    """Rectangles without channel tiling (all ICs must fit one tile)."""
+    totals = benchmark(
+        lambda: {net.name: _network_total(net, vwsdk_full_channels_only)
+                 for net in (vgg13(), resnet18())})
+    full = {net.name: _network_total(net, vwsdk_solution)
+            for net in (vgg13(), resnet18())}
+    print()
+    for name in totals:
+        print(f"{name}: full-channels-only={totals[name]}  "
+              f"full VW-SDK={full[name]}  channel tiling saves "
+              f"{100 * (1 - full[name] / totals[name]):.1f}%")
+        assert totals[name] >= full[name]
+    benchmark.extra_info["totals"] = totals

@@ -1,0 +1,48 @@
+"""Bench: chip-level pipeline planning (extension, not a paper figure).
+
+Times the greedy min-max allocator and records the chip-level speedup
+of VW-SDK over im2col — the compounding of the paper's single-array
+result under weight residency.
+"""
+
+import pytest
+
+from repro.chip import ChipConfig, plan_pipeline
+from repro.core import PIMArray
+from repro.networks import resnet18, vgg13
+
+ARRAY = PIMArray.square(512)
+
+
+@pytest.mark.parametrize("num_arrays", [32, 64, 256])
+def test_pipeline_planning_resnet(benchmark, num_arrays):
+    """Plan ResNet-18 residency + replication on a crossbar pool."""
+    chip = ChipConfig(ARRAY, num_arrays)
+    plan = benchmark(plan_pipeline, resnet18(), chip, "vw-sdk")
+    assert plan.arrays_used <= num_arrays
+    benchmark.extra_info["bottleneck"] = plan.bottleneck_cycles
+
+
+def test_pipeline_scheme_comparison(benchmark):
+    """VW-SDK vs im2col at chip level (64 arrays)."""
+    chip = ChipConfig(ARRAY, 64)
+
+    def run():
+        vw = plan_pipeline(resnet18(), chip, "vw-sdk")
+        im = plan_pipeline(resnet18(), chip, "im2col")
+        return vw, im
+
+    vw, im = benchmark(run)
+    speedup = vw.speedup_over(im)
+    print(f"\nchip-level VW-SDK speedup over im2col: {speedup:.2f}x "
+          f"(bottlenecks {vw.bottleneck_cycles} vs {im.bottleneck_cycles})")
+    assert speedup > 1.0
+    benchmark.extra_info["speedup"] = round(speedup, 3)
+
+
+def test_pipeline_vgg13_large_chip(benchmark):
+    """VGG-13 needs a big pool; plan it on 512 arrays."""
+    chip = ChipConfig(ARRAY, 512)
+    plan = benchmark(plan_pipeline, vgg13(), chip, "vw-sdk")
+    assert plan.bottleneck_cycles <= 24642
+    benchmark.extra_info["bottleneck"] = plan.bottleneck_cycles

@@ -1,0 +1,32 @@
+"""Bench: design-space exploration helpers (extension).
+
+Times the inverse-sizing bisections and the window Pareto frontier —
+the queries a deployment engineer runs many times per design cycle.
+"""
+
+from repro.core import ConvLayer, PIMArray
+from repro.dse import smallest_chip, smallest_square_array, window_pareto
+from repro.networks import resnet18
+
+
+def test_smallest_array_bisection(benchmark):
+    """Smallest square array hitting the paper's 4294-cycle total."""
+    array = benchmark(smallest_square_array, resnet18(), 4294)
+    assert array is not None
+    benchmark.extra_info["side"] = array.rows
+
+
+def test_smallest_chip_bisection(benchmark):
+    """Fewest 512x512 crossbars for a 200-cycle pipeline bottleneck."""
+    chip = benchmark(smallest_chip, resnet18(), PIMArray.square(512), 200,
+                     max_arrays=4096)
+    assert chip is not None
+    benchmark.extra_info["arrays"] = chip.num_arrays
+
+
+def test_window_pareto_frontier(benchmark):
+    """Cycles-vs-utilization frontier of ResNet-18 conv4_x."""
+    layer = ConvLayer.square(14, 3, 256, 256)
+    front = benchmark(window_pareto, layer, PIMArray.square(512))
+    assert front[0].cycles == 504
+    benchmark.extra_info["front_size"] = len(front)

@@ -1,0 +1,44 @@
+"""Bench: functional crossbar-engine throughput (not a paper figure).
+
+Times cycle-accurate execution of each mapping scheme on a moderate
+layer, asserting functional equivalence with the reference convolution
+on every run — the reproduction's ground-truth check under load.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ConvLayer, PIMArray
+from repro.pim import PIMEngine, conv2d_reference
+from repro.search import solve
+
+LAYER = ConvLayer.square(20, 3, 24, 16)
+ARRAY = PIMArray(256, 128)
+_RNG = np.random.default_rng(7)
+IFM = _RNG.integers(-4, 5, (LAYER.in_channels, LAYER.ifm_h,
+                            LAYER.ifm_w)).astype(float)
+KERNEL = _RNG.integers(-4, 5, (LAYER.out_channels, LAYER.in_channels,
+                               3, 3)).astype(float)
+REFERENCE = conv2d_reference(IFM, KERNEL)
+
+
+@pytest.mark.parametrize("scheme", ["im2col", "smd", "sdk", "vw-sdk"])
+def test_engine_execution(benchmark, scheme):
+    """Execute one layer end to end on the simulated crossbar."""
+    solution = solve(LAYER, ARRAY, scheme)
+    engine = PIMEngine()
+
+    def run():
+        return engine.run(solution, IFM, KERNEL)
+
+    result = benchmark(run)
+    np.testing.assert_array_equal(result.ofm, REFERENCE)
+    assert result.cycles == solution.cycles
+    benchmark.extra_info["cycles"] = result.cycles
+    benchmark.extra_info["scheme"] = scheme
+
+
+def test_engine_reference_convolution(benchmark):
+    """Baseline: the direct numpy convolution the engine is checked against."""
+    out = benchmark(conv2d_reference, IFM, KERNEL)
+    assert out.shape == REFERENCE.shape

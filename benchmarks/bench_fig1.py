@@ -1,0 +1,15 @@
+"""Bench: Fig. 1 teaser (im2col 18 / SDK 16 / VW-SDK 8 cycles)."""
+
+from repro.experiments import fig1
+
+from .conftest import attach_checks
+
+
+def test_fig1_teaser(benchmark):
+    """The opening 18/16/8 comparison on a pinned configuration."""
+    result = benchmark(fig1.run)
+    attach_checks(benchmark, fig1.verify())
+    print()
+    print(result.to_text())
+    cycles = [bd.total for bd in result.breakdowns.values()]
+    assert cycles == [18, 16, 8]

@@ -1,0 +1,14 @@
+"""Bench: Fig. 2 layout construction for all four mapping schemes."""
+
+from repro.experiments import fig2
+
+
+def test_fig2_layouts(benchmark):
+    """Materialise and render all four layouts of the demo layer."""
+    result = benchmark(fig2.run)
+    print()
+    print(result.to_text())
+    assert set(result.art) == {"im2col", "smd", "sdk", "vw-sdk"}
+    cycles = {s: st["cycles"] for s, st in result.stats.items()}
+    assert cycles["vw-sdk"] <= cycles["im2col"]
+    benchmark.extra_info["cycles"] = cycles

@@ -1,0 +1,15 @@
+"""Bench: Fig. 4 computable channel capacities vs array size."""
+
+from repro.experiments import fig4
+
+from .conftest import attach_checks
+
+
+def test_fig4_channel_capacities(benchmark):
+    """One-cycle IC/OC capacities for im2col and SDK-4x4 per array."""
+    result = benchmark(fig4.run)
+    attach_checks(benchmark, fig4.verify())
+    print()
+    print(result.to_text())
+    assert len(result.capacities) == 2 * len(fig4.ARRAYS)
+    assert len(result.vgg_points) == 10

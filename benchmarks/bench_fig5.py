@@ -1,0 +1,15 @@
+"""Bench: Fig. 5 — worked example and window-shape speedup sweep."""
+
+from repro.experiments import fig5
+
+from .conftest import attach_checks
+
+
+def test_fig5_worked_example_and_sweep(benchmark):
+    """Panel (a) 4/4/2 cycles and panel (b) speedup-vs-IFM series."""
+    result = benchmark(fig5.run)
+    attach_checks(benchmark, fig5.verify())
+    print()
+    print(result.to_text())
+    cycles = {r["mapping"]: r["cycles"] for r in result.example_rows}
+    assert cycles == {"im2col (3x3)": 4, "SDK (4x4)": 4, "VW-SDK (4x3)": 2}

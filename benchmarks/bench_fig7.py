@@ -1,0 +1,15 @@
+"""Bench: Fig. 7 — channel-tile staircases (eqs. 4 and 6)."""
+
+from repro.experiments import fig7
+
+from .conftest import attach_checks
+
+
+def test_fig7_tiling_staircases(benchmark):
+    """IC_t vs window area and OC_t vs windows-per-PW, three sizes each."""
+    result = benchmark(fig7.run)
+    attach_checks(benchmark, fig7.verify())
+    print()
+    print(result.to_text())
+    assert len(result.ic_series) == 3
+    assert len(result.oc_series) == 3

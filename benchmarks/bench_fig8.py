@@ -1,0 +1,18 @@
+"""Bench: Fig. 8 — per-layer and per-array-size speedups."""
+
+from repro.experiments import fig8
+
+from .conftest import attach_checks
+
+
+def test_fig8_speedups(benchmark):
+    """Both panels: per-layer @512x512 and totals over 5 array sizes."""
+    result = benchmark(fig8.run)
+    attach_checks(benchmark, fig8.verify())
+    print()
+    print(result.to_text())
+    assert result.totals_512["VGG-13"][0] > 3.1
+    assert result.totals_512["Resnet-18"][0] > 4.6
+    benchmark.extra_info["totals_512"] = {
+        k: [round(v, 3) for v in vals]
+        for k, vals in result.totals_512.items()}

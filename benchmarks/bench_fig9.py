@@ -1,0 +1,14 @@
+"""Bench: Fig. 9 — array utilization (eq. 9)."""
+
+from repro.experiments import fig9
+
+from .conftest import attach_checks
+
+
+def test_fig9_utilization(benchmark):
+    """Both panels; checks the 73.8% layer-5 peak."""
+    result = benchmark(fig9.run)
+    attach_checks(benchmark, fig9.verify())
+    print()
+    print(result.to_text())
+    assert abs(result.peak(5, "vw-sdk") - 73.8) < 0.1

@@ -1,0 +1,39 @@
+"""Bench: regenerate Table I (the paper's main result).
+
+Times the three mapping algorithms over both networks at 512x512 and
+asserts every printed value of Table I, then prints the regenerated
+table rows.
+"""
+
+from repro.core import PIMArray
+from repro.experiments import table1
+from repro.networks import map_network, resnet18, vgg13
+
+from .conftest import attach_checks
+
+
+def test_table1_regeneration(benchmark):
+    """Full Table I: both networks, all three schemes."""
+    results = benchmark(table1.run)
+    attach_checks(benchmark, table1.verify())
+    for name, result in results.items():
+        print()
+        print(result.to_text())
+    assert results["VGG-13"].totals == (243736, 114697, 77102)
+    assert results["Resnet-18"].totals == (20041, 7240, 4294)
+
+
+def test_table1_vwsdk_search_vgg13(benchmark):
+    """Algorithm 1 alone over VGG-13's ten layers."""
+    arr = PIMArray.square(512)
+    report = benchmark(map_network, vgg13(), arr, "vw-sdk")
+    assert report.total_cycles == 77102
+    benchmark.extra_info["total_cycles"] = report.total_cycles
+
+
+def test_table1_vwsdk_search_resnet18(benchmark):
+    """Algorithm 1 alone over ResNet-18's five layers."""
+    arr = PIMArray.square(512)
+    report = benchmark(map_network, resnet18(), arr, "vw-sdk")
+    assert report.total_cycles == 4294
+    benchmark.extra_info["total_cycles"] = report.total_cycles

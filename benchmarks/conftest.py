@@ -1,0 +1,17 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates its paper artifact, asserts the paper-vs-
+measured checks, and reports the reproduced rows/series through
+pytest-benchmark's ``extra_info`` so they land in the benchmark JSON.
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+
+def attach_checks(benchmark, checks) -> None:
+    """Assert all (name, expected, measured, ok) checks and record them."""
+    failed = [(name, expected, measured)
+              for name, expected, measured, ok in checks if not ok]
+    assert not failed, f"paper checks failed: {failed}"
+    benchmark.extra_info["paper_checks"] = len(checks)

@@ -1,0 +1,71 @@
+"""Deploy a CNN as a weight-resident pipeline on a multi-crossbar chip.
+
+Run:  python examples/chip_pipeline.py
+
+The paper evaluates one array at a time; real PIM accelerators tile
+many.  This example plans PipeLayer-style deployments of ResNet-18 —
+every layer resident on its own crossbars, images streaming through —
+and shows three things:
+
+1. how the greedy allocator spends a chip's arrays (replicating the
+   bottleneck stage first),
+2. that VW-SDK's smaller tile grids compound at chip level: they lower
+   the residency floor *and* free arrays for replication,
+3. the inverse question: how many crossbars a latency target needs.
+"""
+
+from repro import ChipConfig, PIMArray, plan_pipeline, resnet18
+from repro.dse import smallest_chip
+from repro.reporting import format_table
+
+ARRAY = PIMArray.square(512)
+
+
+def plan_and_print(num_arrays: int, scheme: str) -> int:
+    chip = ChipConfig(ARRAY, num_arrays)
+    plan = plan_pipeline(resnet18(), chip, scheme)
+    print(format_table(plan.rows(),
+                       title=f"{scheme} on {chip}"))
+    print(f"bottleneck {plan.bottleneck_cycles} cycles/inference, "
+          f"{plan.arrays_used}/{num_arrays} arrays used\n")
+    return plan.bottleneck_cycles
+
+
+def compare_schemes_at_chip_level() -> None:
+    print("== ResNet-18, 64 crossbars of 512x512 ==\n")
+    vw = plan_and_print(64, "vw-sdk")
+    im = plan_and_print(64, "im2col")
+    print(f"chip-level speedup of VW-SDK over im2col: {im / vw:.2f}x")
+    print("(single-array speedup was 4.67x; residency + replication "
+          "compound it)\n")
+
+
+def scaling_study() -> None:
+    print("== throughput scaling with chip size (VW-SDK) ==")
+    rows = []
+    for count in (16, 32, 64, 128, 256):
+        chip = ChipConfig(ARRAY, count)
+        try:
+            plan = plan_pipeline(resnet18(), chip, "vw-sdk")
+            rows.append({"arrays": count,
+                         "bottleneck": plan.bottleneck_cycles,
+                         "inferences/kcycle":
+                             round(plan.throughput_per_kcycle, 2)})
+        except Exception as error:
+            rows.append({"arrays": count, "bottleneck": str(error),
+                         "inferences/kcycle": "-"})
+    print(format_table(rows))
+
+
+def inverse_sizing() -> None:
+    print("\n== inverse sizing: arrays needed for a latency target ==")
+    for target in (1500, 500, 100):
+        chip = smallest_chip(resnet18(), ARRAY, target, max_arrays=8192)
+        answer = f"{chip.num_arrays} arrays" if chip else "unreachable"
+        print(f"bottleneck <= {target:5d} cycles  ->  {answer}")
+
+
+if __name__ == "__main__":
+    compare_schemes_at_chip_level()
+    scaling_study()
+    inverse_sizing()

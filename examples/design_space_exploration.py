@@ -1,0 +1,75 @@
+"""Design-space exploration: pick an array for your workload.
+
+Run:  python examples/design_space_exploration.py
+
+Three DSE studies the paper's evaluation implies but doesn't ship:
+
+1. The full cycle landscape over window shapes for one layer — what
+   Algorithm 1 actually scans, and how sharp the optimum is.
+2. An array-size sweep for a whole network ("how big an array do I
+   need?"), reproducing the Fig. 8(b) trend with finer granularity.
+3. An ablation: how much of VW-SDK's win comes from rectangles vs from
+   channel tiling.
+"""
+
+from repro import ConvLayer, PIMArray, map_network, resnet18
+from repro.reporting import format_table, sparkline
+from repro.search import (
+    cycle_landscape,
+    vwsdk_full_channels_only,
+    vwsdk_solution,
+    vwsdk_square_only,
+)
+
+
+def landscape_study() -> None:
+    """The window-shape cycle landscape of ResNet-18 conv4_x."""
+    layer = ConvLayer.square(14, 3, 256, 256)
+    array = PIMArray.square(512)
+    landscape = sorted(cycle_landscape(layer, array), key=lambda kv: kv[1])
+    print(f"== cycle landscape: {layer.describe()} on {array} ==")
+    rows = [{"rank": i + 1, "window": str(win), "cycles": cycles}
+            for i, (win, cycles) in enumerate(landscape[:8])]
+    print(format_table(rows))
+    worst = landscape[-1]
+    print(f"worst feasible window: {worst[0]} at {worst[1]} cycles "
+          f"({worst[1] / landscape[0][1]:.1f}x the optimum)")
+
+
+def array_sweep_study() -> None:
+    """Cycles for ResNet-18 as the (square) array grows."""
+    print("\n== array-size sweep: ResNet-18 total cycles ==")
+    sizes = [64, 128, 192, 256, 384, 512, 768, 1024]
+    rows = []
+    cycles_list = []
+    for size in sizes:
+        array = PIMArray.square(size)
+        vw = map_network(resnet18(), array, "vw-sdk").total_cycles
+        im = map_network(resnet18(), array, "im2col").total_cycles
+        rows.append({"array": f"{size}x{size}", "im2col": im, "vw-sdk": vw,
+                     "speedup": im / vw})
+        cycles_list.append(vw)
+    print(format_table(rows))
+    print(f"vw-sdk cycles trend: {sparkline(cycles_list)} "
+          f"(left {sizes[0]} -> right {sizes[-1]})")
+
+
+def ablation_study() -> None:
+    """Rectangles vs channel tiling: which ingredient buys what."""
+    print("\n== ablation: where does the win over SDK come from? ==")
+    array = PIMArray.square(512)
+    rows = []
+    for name, solver in (
+            ("full VW-SDK", vwsdk_solution),
+            ("square windows only", vwsdk_square_only),
+            ("full channels only", vwsdk_full_channels_only)):
+        total = sum(solver(layer, array).cycles for layer in resnet18())
+        rows.append({"variant": name, "ResNet-18 cycles": total})
+    print(format_table(rows))
+    print("-> both ingredients matter; channel tiling is the bigger lever")
+
+
+if __name__ == "__main__":
+    landscape_study()
+    array_sweep_study()
+    ablation_study()

@@ -1,0 +1,74 @@
+"""Execute mappings on the simulated crossbar and verify them bit-exactly.
+
+Run:  python examples/functional_verification.py
+
+The analytical cycle model says *how many* cycles each mapping takes;
+this example demonstrates the stronger property the library guarantees:
+each mapping, executed cycle by cycle on the crossbar simulator,
+produces exactly the same output feature map as a direct convolution —
+and consumes exactly the predicted number of cycles.  It finishes with
+a non-ideal run (conductance noise + finite ADC) to show what the
+simulator is for beyond verification.
+"""
+
+import numpy as np
+
+from repro import ConvLayer, PIMArray, solve
+from repro.pim import (
+    Crossbar,
+    LinearADC,
+    LognormalNoise,
+    PIMEngine,
+    conv2d_reference,
+)
+
+
+def verify_all_schemes() -> None:
+    """Every scheme computes the exact same OFM in its predicted cycles."""
+    layer = ConvLayer.square(12, 3, 16, 12, name="demo")
+    array = PIMArray(128, 64)
+    rng = np.random.default_rng(0)
+    ifm = rng.integers(-4, 5, (16, 12, 12)).astype(float)
+    kernel = rng.integers(-4, 5, (12, 16, 3, 3)).astype(float)
+    reference = conv2d_reference(ifm, kernel)
+
+    print(f"== functional verification: {layer.describe()} on {array} ==")
+    engine = PIMEngine()
+    for scheme in ("im2col", "smd", "sdk", "vw-sdk"):
+        solution = solve(layer, array, scheme)
+        result = engine.run(solution, ifm, kernel)
+        exact = np.array_equal(result.ofm, reference)
+        assert exact and result.cycles == solution.cycles
+        print(f"{scheme:7s} window={str(solution.window):5s} "
+              f"cycles={result.cycles:5d} (predicted {solution.cycles:5d}) "
+              f"OFM exact: {exact}   energy={result.energy_nj():.1f} nJ")
+
+
+def run_with_nonidealities() -> None:
+    """Same layer on a noisy crossbar with an 8-bit ADC."""
+    layer = ConvLayer.square(12, 3, 16, 12)
+    array = PIMArray(128, 64)
+    rng = np.random.default_rng(1)
+    ifm = rng.integers(-4, 5, (16, 12, 12)).astype(float)
+    kernel = rng.integers(-4, 5, (12, 16, 3, 3)).astype(float)
+    reference = conv2d_reference(ifm, kernel)
+    solution = solve(layer, array, "vw-sdk")
+
+    print("\n== non-ideal execution (VW-SDK mapping) ==")
+    print(f"{'sigma':>6s} {'adc bits':>9s} {'rel. error':>11s} "
+          f"{'saturations':>12s}")
+    for sigma, bits in ((0.0, 12), (0.05, 12), (0.1, 12), (0.1, 6)):
+        adc = LinearADC(bits=bits, full_scale=float(np.abs(reference).max()))
+        xbar = Crossbar(array, adc=adc, noise=LognormalNoise(sigma), seed=42)
+        result = PIMEngine(crossbar=xbar).run(solution, ifm, kernel)
+        err = (np.linalg.norm(result.ofm - reference)
+               / np.linalg.norm(reference))
+        print(f"{sigma:6.2f} {bits:9d} {err:11.4f} "
+              f"{adc.saturation_events:12d}")
+    print("-> cycle counts and mappings are unchanged by non-idealities;")
+    print("   only output fidelity degrades, which is the PIM trade-off.")
+
+
+if __name__ == "__main__":
+    verify_all_schemes()
+    run_with_nonidealities()

@@ -1,0 +1,64 @@
+"""Quickstart: map a convolutional layer onto a PIM array with VW-SDK.
+
+Run:  python examples/quickstart.py
+
+Shows the 60-second workflow: describe a layer, pick an array, run the
+paper's Algorithm 1, inspect the solution, then map a whole network and
+compare against the im2col / SDK baselines.
+"""
+
+from repro import (
+    ConvLayer,
+    PIMArray,
+    compare_schemes,
+    cost_report,
+    resnet18,
+    utilization_report,
+    vwsdk_solution,
+)
+
+
+def map_one_layer() -> None:
+    """ResNet-18 conv4_x (Table I row 4): the 4x3-window poster child."""
+    layer = ConvLayer.square(14, 3, 256, 256, name="resnet18-conv4")
+    array = PIMArray.square(512)
+
+    solution = vwsdk_solution(layer, array)
+    print("== one layer ==")
+    print(solution.describe())
+
+    util = utilization_report(solution)
+    print(f"utilization       : mean {util.mean_pct:.1f}%  "
+          f"peak {util.peak_pct:.1f}%")
+
+    cost = cost_report(solution, utilization=util)
+    print(f"latency estimate  : {cost.latency_us:.1f} us")
+    print(f"energy estimate   : {cost.total_energy_nj:.0f} nJ "
+          f"({cost.conversion_fraction * 100:.0f}% in A/D conversions)")
+
+
+def map_whole_network() -> None:
+    """All of ResNet-18 with the three schemes the paper compares."""
+    array = PIMArray.square(512)
+    reports = compare_schemes(resnet18(), array)
+
+    print("\n== whole network (ResNet-18 @ 512x512) ==")
+    header = f"{'layer':22s} {'im2col':>8s} {'sdk':>8s} {'vw-sdk':>8s} window"
+    print(header)
+    vw = reports["vw-sdk"]
+    for i, layer in enumerate(resnet18()):
+        cells = [reports[s].solutions[i].cycles
+                 for s in ("im2col", "sdk", "vw-sdk")]
+        print(f"{layer.describe()[:22]:22s} {cells[0]:8d} {cells[1]:8d} "
+              f"{cells[2]:8d} {vw.solutions[i].window}")
+    totals = {s: reports[s].total_cycles for s in reports}
+    print(f"{'TOTAL':22s} {totals['im2col']:8d} {totals['sdk']:8d} "
+          f"{totals['vw-sdk']:8d}")
+    print(f"speedup vs im2col: {vw.speedup_over(reports['im2col']):.2f}x "
+          f"(paper: 4.67x)   vs SDK: "
+          f"{vw.speedup_over(reports['sdk']):.2f}x (paper: 1.69x)")
+
+
+if __name__ == "__main__":
+    map_one_layer()
+    map_whole_network()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+All metadata lives in ``pyproject.toml``; this file only exists so that
+``pip install -e . --no-use-pep517`` works on environments without the
+``wheel`` package (e.g. offline CI images).
+"""
+
+from setuptools import setup
+
+setup()

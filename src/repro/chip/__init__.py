@@ -1,0 +1,27 @@
+"""Chip-level deployment: many crossbars, weight-resident pipelines."""
+
+from .allocation import LayerAllocation, allocate_layer, residency_arrays
+from .config import ChipConfig
+from .packing import (
+    PackingResult,
+    Placement,
+    TileRequest,
+    pack_network,
+    pack_tiles,
+)
+from .pipeline import InsufficientArraysError, PipelinePlan, plan_pipeline
+
+__all__ = [
+    "ChipConfig",
+    "LayerAllocation",
+    "allocate_layer",
+    "residency_arrays",
+    "PipelinePlan",
+    "plan_pipeline",
+    "InsufficientArraysError",
+    "TileRequest",
+    "Placement",
+    "PackingResult",
+    "pack_tiles",
+    "pack_network",
+]

@@ -1,0 +1,100 @@
+"""Per-layer crossbar allocation with weight residency.
+
+A mapping solution needs ``AR x AC`` distinct array programmings.  On a
+multi-array chip each programming can live in its own crossbar, making
+the layer *weight-resident*: every parallel-window position then takes
+one chip-level cycle (all row/column tiles fire concurrently on their
+own arrays), so the layer's latency drops from ``N_PW x AR x AC`` to
+``N_PW``.  Arrays beyond the residency minimum replicate the whole
+layer and split the window positions, dividing latency further.
+
+With fewer arrays than tiles the layer must time-multiplex programmings
+(reprogramming mid-inference — expensive on RRAM); the allocation
+reports the reprogram count so schedulers can weigh it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.types import ceil_div, require_positive_int
+from ..search.result import MappingSolution
+
+__all__ = ["LayerAllocation", "allocate_layer", "residency_arrays"]
+
+
+def residency_arrays(solution: MappingSolution) -> int:
+    """Minimum crossbars for the layer's weights to stay resident."""
+    return solution.breakdown.tiles_per_position
+
+
+@dataclass(frozen=True)
+class LayerAllocation:
+    """One layer's share of the chip.
+
+    Attributes
+    ----------
+    arrays:
+        Crossbars assigned.
+    resident:
+        Whether all tile programmings fit simultaneously.
+    replicas:
+        Full copies of the layer held on chip (>= 1 when resident).
+    latency_cycles:
+        Chip-level cycles to produce the layer's OFM for one input.
+    reprogram_events:
+        Array reprogrammings *per inference* (0 when resident; weights
+        are loaded once at deployment).
+    """
+
+    solution: MappingSolution
+    arrays: int
+    resident: bool
+    replicas: int
+    latency_cycles: int
+    reprogram_events: int
+
+    @property
+    def utilized_arrays(self) -> int:
+        """Arrays actually exercised (replicas x tiles when resident)."""
+        tiles = residency_arrays(self.solution)
+        return self.replicas * tiles if self.resident else self.arrays
+
+
+def allocate_layer(solution: MappingSolution, arrays: int) -> LayerAllocation:
+    """Allocate *arrays* crossbars to one layer's mapping.
+
+    >>> from repro.core import ConvLayer, PIMArray
+    >>> from repro.search import vwsdk_solution
+    >>> sol = vwsdk_solution(ConvLayer.square(14, 3, 256, 256),
+    ...                      PIMArray.square(512))     # 72 PW x 7 tiles
+    >>> allocate_layer(sol, 7).latency_cycles           # resident
+    72
+    >>> allocate_layer(sol, 14).latency_cycles          # 2 replicas
+    36
+    >>> allocate_layer(sol, 1).latency_cycles           # multiplexed
+    504
+    """
+    arrays = require_positive_int("arrays", arrays)
+    tiles = residency_arrays(solution)
+    n_pw = solution.breakdown.n_pw
+    if arrays >= tiles:
+        replicas = arrays // tiles
+        return LayerAllocation(
+            solution=solution,
+            arrays=arrays,
+            resident=True,
+            replicas=replicas,
+            latency_cycles=ceil_div(n_pw, replicas),
+            reprogram_events=0,
+        )
+    # Non-resident: each array sequentially hosts several programmings.
+    rounds = ceil_div(tiles, arrays)
+    return LayerAllocation(
+        solution=solution,
+        arrays=arrays,
+        resident=False,
+        replicas=0,
+        latency_cycles=n_pw * rounds,
+        reprogram_events=tiles,
+    )

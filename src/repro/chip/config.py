@@ -1,0 +1,47 @@
+"""Chip-level configuration: many crossbars on one accelerator.
+
+The paper evaluates a single array; real PIM accelerators (ISAAC,
+PipeLayer [1]) tile tens to hundreds of crossbars.  A
+:class:`ChipConfig` describes such a pool, and the allocation/pipeline
+modules map whole networks onto it with weights held resident — the
+deployment mode PIM is built for, since reprogramming RRAM mid-
+inference costs orders of magnitude more than computing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.array import PIMArray
+from ..core.types import require_positive_int
+
+__all__ = ["ChipConfig"]
+
+
+@dataclass(frozen=True)
+class ChipConfig:
+    """A pool of identical crossbars.
+
+    Parameters
+    ----------
+    array:
+        Geometry of each crossbar.
+    num_arrays:
+        How many crossbars the chip provides.
+    """
+
+    array: PIMArray
+    num_arrays: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "num_arrays",
+                           require_positive_int("num_arrays",
+                                                self.num_arrays))
+
+    @property
+    def total_cells(self) -> int:
+        """Memory cells across the whole pool."""
+        return self.num_arrays * self.array.cells
+
+    def __str__(self) -> str:  # noqa: D105 - compact
+        return f"{self.num_arrays}x({self.array})"

@@ -1,0 +1,193 @@
+"""Command-line interface: ``vwsdk`` (or ``python -m repro``).
+
+Subcommands
+-----------
+map
+    Map one convolutional layer onto an array with any scheme and print
+    the full solution (window, tiled channels, cycle breakdown,
+    utilization, latency/energy estimate).
+network
+    Map a zoo network (or all layers of a custom one) and print the
+    per-layer table plus totals and speedups.
+experiments
+    Regenerate every paper table/figure and print the verification
+    scoreboard (exit status reflects it).
+landscape
+    Print the full cycle landscape over all windows for one layer —
+    the design-space view behind Algorithm 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import ConvLayer, PIMArray, cost_report, utilization_report
+from .networks import compare_schemes, get_network
+from .reporting import format_table
+from .search import SCHEMES, cycle_landscape, solve
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="vwsdk",
+        description="VW-SDK convolutional weight mapping for PIM arrays "
+                    "(DATE 2022 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_map = sub.add_parser("map", help="map one conv layer")
+    p_map.add_argument("--ifm", type=int, required=True,
+                       help="square IFM size (stride-1 folded view)")
+    p_map.add_argument("--kernel", type=int, default=3, help="kernel size")
+    p_map.add_argument("--ic", type=int, required=True,
+                       help="input channels")
+    p_map.add_argument("--oc", type=int, required=True,
+                       help="output channels")
+    p_map.add_argument("--array", default="512x512",
+                       help="array as ROWSxCOLS (default 512x512)")
+    p_map.add_argument("--scheme", default="vw-sdk",
+                       choices=sorted(SCHEMES), help="mapping scheme")
+
+    p_net = sub.add_parser("network", help="map a zoo or custom network")
+    p_net.add_argument("name", nargs="?", default=None,
+                       help="zoo network, e.g. vgg13, resnet18")
+    p_net.add_argument("--file", default=None,
+                       help="JSON network description (see "
+                            "repro.networks.io) instead of a zoo name")
+    p_net.add_argument("--array", default="512x512",
+                       help="array as ROWSxCOLS")
+
+    p_exp = sub.add_parser(
+        "experiments",
+        help="regenerate all paper tables/figures and verify")
+    p_exp.add_argument("--export", metavar="DIR", default=None,
+                       help="also write CSV/JSON artifacts to DIR")
+
+    p_land = sub.add_parser("landscape",
+                            help="cycle landscape over all windows")
+    p_land.add_argument("--ifm", type=int, required=True)
+    p_land.add_argument("--kernel", type=int, default=3)
+    p_land.add_argument("--ic", type=int, required=True)
+    p_land.add_argument("--oc", type=int, required=True)
+    p_land.add_argument("--array", default="512x512")
+    p_land.add_argument("--top", type=int, default=15,
+                        help="show the best N windows")
+
+    p_chip = sub.add_parser(
+        "chip", help="plan a weight-resident pipeline on many arrays")
+    p_chip.add_argument("name", help="zoo network, e.g. resnet18")
+    p_chip.add_argument("--array", default="512x512",
+                        help="crossbar geometry")
+    p_chip.add_argument("--arrays", type=int, default=64,
+                        help="number of crossbars on the chip")
+    p_chip.add_argument("--scheme", default="vw-sdk",
+                        choices=sorted(SCHEMES))
+    return parser
+
+
+def _layer_from_args(args: argparse.Namespace) -> ConvLayer:
+    return ConvLayer.square(args.ifm, args.kernel, args.ic, args.oc)
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    layer = _layer_from_args(args)
+    array = PIMArray.parse(args.array)
+    solution = solve(layer, array, args.scheme)
+    print(solution.describe())
+    util = utilization_report(solution)
+    print(f"utilization       : mean {util.mean_pct:.1f}%  "
+          f"peak {util.peak_pct:.1f}%")
+    cost = cost_report(solution, utilization=util)
+    print(f"latency estimate  : {cost.latency_us:.2f} us "
+          f"(at {cost.params.cycle_time_ns:.0f} ns/cycle)")
+    print(f"energy estimate   : {cost.total_energy_nj:.1f} nJ "
+          f"({cost.conversion_fraction * 100:.0f}% in conversions)")
+    return 0
+
+
+def _cmd_network(args: argparse.Namespace) -> int:
+    if args.file:
+        from .networks import load_network
+        network = load_network(args.file).folded()
+    elif args.name:
+        network = get_network(args.name)
+    else:
+        raise SystemExit("network: give a zoo name or --file PATH")
+    array = PIMArray.parse(args.array)
+    reports = compare_schemes(network, array)
+    vw = reports["vw-sdk"]
+    rows = []
+    for i, layer in enumerate(network):
+        row = {"#": i + 1, "layer": layer.name,
+               "image": f"{layer.ifm_h}x{layer.ifm_w}",
+               "kernel": layer.shape_str}
+        for scheme, rep in reports.items():
+            row[scheme] = rep.solutions[i].cycles
+        row["window"] = str(vw.solutions[i].window)
+        rows.append(row)
+    print(format_table(rows, title=f"{network.name} on {array}"))
+    totals = {scheme: rep.total_cycles for scheme, rep in reports.items()}
+    print("totals: " + "  ".join(f"{s}={c}" for s, c in totals.items()))
+    im = reports["im2col"]
+    print(f"VW-SDK speedup: {vw.speedup_over(im):.2f}x vs im2col, "
+          f"{vw.speedup_over(reports['sdk']):.2f}x vs SDK")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .experiments.runner import main as run_experiments
+    status = run_experiments()
+    if args.export:
+        from .experiments.export import export_all
+        paths = export_all(args.export)
+        print(f"exported {len(paths)} artifacts to {args.export}")
+    return status
+
+
+def _cmd_landscape(args: argparse.Namespace) -> int:
+    layer = _layer_from_args(args)
+    array = PIMArray.parse(args.array)
+    landscape = sorted(cycle_landscape(layer, array), key=lambda kv: kv[1])
+    rows = [{"window": str(win), "cycles": cycles}
+            for win, cycles in landscape[:args.top]]
+    print(format_table(
+        rows, title=f"best {args.top} windows for {layer.describe()} "
+                    f"on {array} ({len(landscape)} feasible)"))
+    return 0
+
+
+def _cmd_chip(args: argparse.Namespace) -> int:
+    from .chip import ChipConfig, plan_pipeline
+    network = get_network(args.name)
+    chip = ChipConfig(PIMArray.parse(args.array), args.arrays)
+    plan = plan_pipeline(network, chip, args.scheme)
+    print(format_table(plan.rows(),
+                       title=f"{network.name} pipelined on {chip} "
+                             f"({args.scheme})"))
+    print(f"bottleneck: {plan.bottleneck_cycles} cycles/inference "
+          f"(steady state), fill latency {plan.fill_latency_cycles} "
+          f"cycles, {plan.arrays_used}/{chip.num_arrays} arrays used")
+    return 0
+
+
+_COMMANDS = {
+    "map": _cmd_map,
+    "network": _cmd_network,
+    "experiments": _cmd_experiments,
+    "landscape": _cmd_landscape,
+    "chip": _cmd_chip,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI
+    sys.exit(main())

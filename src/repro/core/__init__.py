@@ -1,0 +1,86 @@
+"""Core geometry and the paper's analytical models.
+
+Public surface:
+
+* :class:`ConvLayer`, :class:`PIMArray`, :class:`ParallelWindow` — the
+  problem vocabulary.
+* :mod:`repro.core.cycles` — eqs. 1-8 (cycle counts).
+* :mod:`repro.core.utilization` — eq. 9 (used-cell fractions).
+* :mod:`repro.core.cost` — latency/energy on top of cycles.
+* :mod:`repro.core.strided` — stride/padding generalisation (extension).
+"""
+
+from .array import PAPER_ARRAY_SIZES, PIMArray
+from .cycles import (
+    CycleBreakdown,
+    ac_cycles,
+    ar_cycles_fine_grained,
+    ar_cycles_whole_channel,
+    im2col_cycles,
+    num_parallel_windows,
+    num_windows,
+    parallel_window_grid,
+    tiled_input_channels,
+    tiled_output_channels,
+    variable_window_cycles,
+)
+from .cost import DEFAULT_COST_PARAMS, CostParams, CostReport, cost_report
+from .grouped import GroupedMapping, depthwise_mapping, grouped_mapping
+from .layer import ConvLayer
+from .presets import DEVICE_PRESETS, preset
+from .strided import (
+    StridedSolution,
+    StridedWindow,
+    search_strided,
+    strided_breakdown,
+    strided_im2col_breakdown,
+)
+from .types import ConfigurationError, MappingError, ReproError, ceil_div
+from .utilization import (
+    TileUsage,
+    UtilizationReport,
+    tile_sizes,
+    utilization_report,
+)
+from .window import ParallelWindow, iter_candidate_windows
+
+__all__ = [
+    "ConvLayer",
+    "PIMArray",
+    "PAPER_ARRAY_SIZES",
+    "ParallelWindow",
+    "iter_candidate_windows",
+    "CycleBreakdown",
+    "num_windows",
+    "parallel_window_grid",
+    "num_parallel_windows",
+    "tiled_input_channels",
+    "tiled_output_channels",
+    "ar_cycles_whole_channel",
+    "ar_cycles_fine_grained",
+    "ac_cycles",
+    "variable_window_cycles",
+    "im2col_cycles",
+    "TileUsage",
+    "UtilizationReport",
+    "utilization_report",
+    "tile_sizes",
+    "CostParams",
+    "CostReport",
+    "cost_report",
+    "DEFAULT_COST_PARAMS",
+    "DEVICE_PRESETS",
+    "preset",
+    "GroupedMapping",
+    "grouped_mapping",
+    "depthwise_mapping",
+    "StridedWindow",
+    "StridedSolution",
+    "search_strided",
+    "strided_breakdown",
+    "strided_im2col_breakdown",
+    "ReproError",
+    "ConfigurationError",
+    "MappingError",
+    "ceil_div",
+]

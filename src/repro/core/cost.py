@@ -1,0 +1,161 @@
+"""Latency / energy cost model on top of the cycle model.
+
+The paper argues (Section II, citing [3]) that analog-digital
+conversions dominate PIM energy — "more than 98% of the total PIM energy
+consumption" — so fewer computing cycles directly mean less energy.
+This module turns a :class:`~repro.search.result.MappingSolution` into
+latency and energy figures using a simple per-cycle component model:
+
+``E_cycle = rows_driven * E_dac + cols_read * E_adc + cells * E_cell``
+
+The default constants are *illustrative* (ISAAC-class 8-bit ADC energy,
+1-bit DAC drivers); the paper gives none, and every claim we reproduce
+is a ratio, which is insensitive to the absolute constants as long as
+conversion energy dominates.  All parameters are overridable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..search.result import MappingSolution
+from .utilization import UtilizationReport, utilization_report
+
+__all__ = ["CostParams", "CostReport", "cost_report", "DEFAULT_COST_PARAMS"]
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Per-cycle energy/latency constants.
+
+    Attributes
+    ----------
+    cycle_time_ns:
+        Latency of one computing cycle (row drive + settle + ADC scan).
+    adc_energy_pj:
+        Energy per column conversion (dominant term, ref [3]).
+    dac_energy_pj:
+        Energy per row drive.
+    cell_energy_pj:
+        Analog MAC energy per active cell (small).
+    write_energy_pj:
+        Energy to (re)program one cell; charged once per tile
+        programming, i.e. ``AR*AC`` programmings per layer, not per
+        parallel-window position (weights stay resident across
+        positions).
+    idle_column_conversion:
+        When ``True`` (default, the paper's model) every cycle digitises
+        *all* array columns — the ADC bank scans the whole array, so
+        conversion energy is proportional to the cycle count, which is
+        the paper's energy argument.  When ``False`` only used columns
+        are charged; note that VW-SDK can then *lose* on conversion
+        count for some layers (it reads more columns per cycle), an
+        ablation recorded in EXPERIMENTS.md.
+    """
+
+    cycle_time_ns: float = 100.0
+    adc_energy_pj: float = 2.0
+    dac_energy_pj: float = 0.05
+    cell_energy_pj: float = 0.001
+    write_energy_pj: float = 10.0
+    include_writes: bool = False
+    idle_column_conversion: bool = True
+
+    def __post_init__(self) -> None:
+        for attr in ("cycle_time_ns", "adc_energy_pj", "dac_energy_pj",
+                     "cell_energy_pj", "write_energy_pj"):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"{attr} must be non-negative")
+
+
+DEFAULT_COST_PARAMS = CostParams()
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Latency and energy of one mapping solution."""
+
+    solution: MappingSolution
+    params: CostParams
+    cycles: int
+    latency_us: float
+    adc_energy_nj: float
+    dac_energy_nj: float
+    cell_energy_nj: float
+    write_energy_nj: float
+
+    @property
+    def compute_energy_nj(self) -> float:
+        """Energy excluding programming."""
+        return self.adc_energy_nj + self.dac_energy_nj + self.cell_energy_nj
+
+    @property
+    def total_energy_nj(self) -> float:
+        """Total energy (programming included when enabled)."""
+        total = self.compute_energy_nj
+        if self.params.include_writes:
+            total += self.write_energy_nj
+        return total
+
+    @property
+    def conversion_fraction(self) -> float:
+        """Share of compute energy spent in ADC+DAC conversions."""
+        compute = self.compute_energy_nj
+        if compute == 0:
+            return 0.0
+        return (self.adc_energy_nj + self.dac_energy_nj) / compute
+
+    def energy_breakdown(self) -> Dict[str, float]:
+        """Component -> nanojoules, for reports."""
+        return {
+            "adc": self.adc_energy_nj,
+            "dac": self.dac_energy_nj,
+            "cell": self.cell_energy_nj,
+            "write": self.write_energy_nj,
+        }
+
+
+def cost_report(solution: MappingSolution,
+                params: CostParams = DEFAULT_COST_PARAMS,
+                utilization: UtilizationReport = None) -> CostReport:
+    """Price a mapping solution.
+
+    Every tile programming is executed once per parallel-window
+    position, so a tile with ``r`` driven rows and ``c`` read columns
+    contributes ``N_PW * (r*E_dac + c*E_adc + cells*E_cell)``.
+
+    >>> from repro.core import ConvLayer, PIMArray
+    >>> from repro.search import im2col_solution, vwsdk_solution
+    >>> layer = ConvLayer.square(14, 3, 256, 256)
+    >>> arr = PIMArray.square(512)
+    >>> base = cost_report(im2col_solution(layer, arr))
+    >>> ours = cost_report(vwsdk_solution(layer, arr))
+    >>> base.latency_us / ours.latency_us > 1.0   # VW-SDK is faster
+    True
+    """
+    if utilization is None:
+        utilization = utilization_report(solution)
+    n_pw = solution.breakdown.n_pw
+    adc_pj = 0.0
+    dac_pj = 0.0
+    cell_pj = 0.0
+    write_pj = 0.0
+    for tile in utilization.tiles:
+        cols = (solution.array.cols if params.idle_column_conversion
+                else tile.cols_used)
+        adc_pj += n_pw * cols * params.adc_energy_pj
+        dac_pj += n_pw * tile.rows_used * params.dac_energy_pj
+        cell_pj += n_pw * tile.cells_used * params.cell_energy_pj
+        write_pj += tile.cells_used * params.write_energy_pj
+    cycles = solution.cycles
+    return CostReport(
+        solution=solution,
+        params=params,
+        cycles=cycles,
+        latency_us=cycles * params.cycle_time_ns / 1000.0,
+        adc_energy_nj=adc_pj / 1000.0,
+        dac_energy_nj=dac_pj / 1000.0,
+        cell_energy_nj=cell_pj / 1000.0,
+        write_energy_nj=write_pj / 1000.0,
+    )

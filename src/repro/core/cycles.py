@@ -1,0 +1,221 @@
+"""The paper's analytical cycle model (equations 1-8).
+
+Everything here is exact integer arithmetic.  Two row-tiling flavours
+coexist, both needed to reproduce Table I (see ``DESIGN.md`` section 2):
+
+* **fine-grained** (im2col, eq. 1): a kernel column of ``K_h*K_w*IC``
+  cells may be cut anywhere, including mid-channel, so
+  ``AR = ceil(K_h*K_w*IC / rows)``.  This is legal because an im2col
+  column is a plain dot product — partial sums over any row partition
+  add up digitally.
+* **whole-channel** (SDK/VW-SDK, eqs. 4-5): a parallel window drives
+  ``PW_h*PW_w`` rows *per channel* and the shifted kernel copies share
+  those rows, so channels are tiled as units:
+  ``IC_t = floor(rows / PW_area)``, ``AR = ceil(IC / IC_t)``.
+
+Column tiling (eqs. 6-7) is always whole-output-channel:
+``OC_t = floor(cols / windows_per_PW)``, ``AC = ceil(OC / OC_t)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .array import PIMArray
+from .layer import ConvLayer
+from .types import MappingError, ceil_div
+from .window import ParallelWindow
+
+__all__ = [
+    "CycleBreakdown",
+    "num_windows",
+    "parallel_window_grid",
+    "num_parallel_windows",
+    "tiled_input_channels",
+    "tiled_output_channels",
+    "ar_cycles_whole_channel",
+    "ar_cycles_fine_grained",
+    "ac_cycles",
+    "variable_window_cycles",
+    "im2col_cycles",
+]
+
+
+@dataclass(frozen=True)
+class CycleBreakdown:
+    """Full decomposition of a mapping's computing-cycle count.
+
+    Attributes
+    ----------
+    n_pw:
+        Number of parallel-window positions over the IFM (eq. 3).  For
+        im2col this equals the number of sliding windows.
+    ar:
+        Array-row cycles (eq. 5 or the fine-grained eq. 1 variant).
+    ac:
+        Array-column cycles (eq. 7).
+    ic_t, oc_t:
+        Effective tiled input / output channels per cycle (capped at the
+        layer's ``IC`` / ``OC``; the cap never changes ``ar``/``ac``,
+        only the reported tile size, matching Table I's convention).
+    """
+
+    n_pw: int
+    ar: int
+    ac: int
+    ic_t: int
+    oc_t: int
+
+    @property
+    def total(self) -> int:
+        """Total computing cycles ``N_PW * AR * AC`` (eq. 2/8)."""
+        return self.n_pw * self.ar * self.ac
+
+    @property
+    def tiles_per_position(self) -> int:
+        """Row-tile x column-tile grid size (``AR * AC``)."""
+        return self.ar * self.ac
+
+
+# ----------------------------------------------------------------------
+# Window counting (eq. 3)
+# ----------------------------------------------------------------------
+
+def num_windows(layer: ConvLayer) -> int:
+    """Sliding-window positions of the kernel over the IFM.
+
+    For the paper's stride-1 convention this is
+    ``(I_h - K_h + 1) * (I_w - K_w + 1)``.
+    """
+    return layer.num_windows
+
+
+def parallel_window_grid(layer: ConvLayer,
+                         window: ParallelWindow) -> Tuple[int, int]:
+    """Parallel-window positions along each axis: ``(n_h, n_w)``.
+
+    Implemented as ``ceil(windows / windows_per_PW)`` per axis, which is
+    algebraically identical to the paper's eq. 3
+    (``ceil((I - PW) / (PW - K + 1)) + 1``) but extends cleanly to
+    strided layers: think in window-index space, group consecutive
+    windows into parallel windows, and shift the final group back so it
+    stays inside the IFM (its outputs overlap the previous group's —
+    they are recomputed, not wrong).
+    """
+    if not window.fits_ifm(layer):
+        raise MappingError(
+            f"parallel window {window} does not fit IFM "
+            f"{layer.padded_ifm_h}x{layer.padded_ifm_w}")
+    nw_h, nw_w = window.windows_along(layer)
+    return ceil_div(layer.ofm_h, nw_h), ceil_div(layer.ofm_w, nw_w)
+
+
+def num_parallel_windows(layer: ConvLayer, window: ParallelWindow) -> int:
+    """Total parallel-window positions (eq. 3)."""
+    n_h, n_w = parallel_window_grid(layer, window)
+    return n_h * n_w
+
+
+# ----------------------------------------------------------------------
+# Channel tiling (eqs. 4-7)
+# ----------------------------------------------------------------------
+
+def tiled_input_channels(array: PIMArray, window: ParallelWindow,
+                         layer: ConvLayer) -> int:
+    """Maximum input channels mappable per cycle (eq. 4), capped at IC.
+
+    Raises :class:`MappingError` when even a single channel's window
+    does not fit the array rows (``floor(rows / PW_area) == 0``).
+    """
+    per_array = array.rows // window.area
+    if per_array == 0:
+        raise MappingError(
+            f"window {window} needs {window.area} rows/channel but the "
+            f"array has only {array.rows} rows")
+    return min(per_array, layer.in_channels)
+
+
+def tiled_output_channels(array: PIMArray, window: ParallelWindow,
+                          layer: ConvLayer) -> int:
+    """Maximum output channels mappable per cycle (eq. 6), capped at OC.
+
+    Raises :class:`MappingError` when the duplicated kernel copies for a
+    single output channel already exceed the array columns.
+    """
+    per_array = array.cols // window.windows_inside(layer)
+    if per_array == 0:
+        raise MappingError(
+            f"window {window} duplicates {window.windows_inside(layer)} "
+            f"kernels/output-channel but the array has only {array.cols} "
+            f"columns")
+    return min(per_array, layer.out_channels)
+
+
+def ar_cycles_whole_channel(array: PIMArray, window: ParallelWindow,
+                            layer: ConvLayer) -> int:
+    """Array-row cycles with whole-channel tiling (eq. 5)."""
+    ic_t = tiled_input_channels(array, window, layer)
+    return ceil_div(layer.in_channels, ic_t)
+
+
+def ar_cycles_fine_grained(array: PIMArray, layer: ConvLayer) -> int:
+    """Array-row cycles with fine-grained splitting (im2col, eq. 1)."""
+    return ceil_div(layer.im2col_rows, array.rows)
+
+
+def ac_cycles(array: PIMArray, window: ParallelWindow,
+              layer: ConvLayer) -> int:
+    """Array-column cycles (eq. 7)."""
+    oc_t = tiled_output_channels(array, window, layer)
+    return ceil_div(layer.out_channels, oc_t)
+
+
+# ----------------------------------------------------------------------
+# End-to-end cycle counts
+# ----------------------------------------------------------------------
+
+def variable_window_cycles(layer: ConvLayer, array: PIMArray,
+                           window: ParallelWindow) -> CycleBreakdown:
+    """Cycle breakdown of a VW-SDK mapping with the given window (eq. 8).
+
+    Valid for any window at least kernel-sized that fits the IFM; the
+    kernel-sized window gives the *whole-channel* im2col variant (which
+    is never better than :func:`im2col_cycles`' fine-grained count).
+    """
+    if not window.covers_kernel(layer):
+        raise MappingError(f"window {window} smaller than kernel "
+                           f"{layer.kernel_h}x{layer.kernel_w}")
+    ic_t = tiled_input_channels(array, window, layer)
+    oc_t = tiled_output_channels(array, window, layer)
+    return CycleBreakdown(
+        n_pw=num_parallel_windows(layer, window),
+        ar=ceil_div(layer.in_channels, ic_t),
+        ac=ceil_div(layer.out_channels, oc_t),
+        ic_t=ic_t,
+        oc_t=oc_t,
+    )
+
+
+def im2col_cycles(layer: ConvLayer, array: PIMArray) -> CycleBreakdown:
+    """Cycle breakdown of the im2col mapping (eq. 1 with ``N_w^P = 1``).
+
+    ``AR`` uses fine-grained splitting — an im2col column is one long
+    dot product, so row tiles may cut mid-channel.  This is the variant
+    Algorithm 1 uses to initialise its incumbent and is required to
+    reproduce Table I (e.g. ResNet-18 layer 5: ``ceil(4608/512) = 9``).
+    """
+    ar = ar_cycles_fine_grained(array, layer)
+    oc_t = min(array.cols, layer.out_channels)
+    # Effective channels per row-tile for reporting: with fine splitting
+    # a tile holds up to floor(rows / kernel_area) whole channels plus
+    # fragments; report the paper's convention (full IC when AR == 1).
+    ic_t = layer.in_channels if ar == 1 else min(
+        layer.in_channels, max(1, array.rows // layer.kernel_area))
+    return CycleBreakdown(
+        n_pw=layer.num_windows,
+        ar=ar,
+        ac=ceil_div(layer.out_channels, oc_t),
+        ic_t=ic_t,
+        oc_t=oc_t,
+    )

@@ -1,0 +1,61 @@
+"""Device presets for the cost model.
+
+The paper names four physical arrays; these presets give each a
+plausible :class:`~repro.core.cost.CostParams` so energy/latency
+studies can switch device classes with one argument.  Values are
+literature-class estimates (ISAAC, PRIME, the [8] SRAM macro), chosen
+for *relative* realism: absolute numbers are not claims, the ratios
+between components are.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .cost import CostParams
+
+__all__ = ["DEVICE_PRESETS", "preset"]
+
+#: name -> parameters.  All presets keep the paper's per-cycle ADC
+#: accounting (idle_column_conversion=True).
+DEVICE_PRESETS: Dict[str, CostParams] = {
+    # ISAAC-class RRAM tile: 8-bit SAR ADC dominates.
+    "rram-isaac": CostParams(
+        cycle_time_ns=100.0,
+        adc_energy_pj=2.0,
+        dac_energy_pj=0.05,
+        cell_energy_pj=0.001,
+        write_energy_pj=10.0,
+    ),
+    # Aggressive RRAM with reduced ADC precision (faster, cheaper).
+    "rram-lite": CostParams(
+        cycle_time_ns=50.0,
+        adc_energy_pj=0.8,
+        dac_energy_pj=0.03,
+        cell_energy_pj=0.001,
+        write_energy_pj=10.0,
+    ),
+    # 6T-SRAM in-memory macro like ref [8]: fast cycles, cheap writes,
+    # higher leakage folded into cell energy.
+    "sram-cim": CostParams(
+        cycle_time_ns=10.0,
+        adc_energy_pj=0.5,
+        dac_energy_pj=0.02,
+        cell_energy_pj=0.004,
+        write_energy_pj=0.05,
+    ),
+}
+
+
+def preset(name: str) -> CostParams:
+    """Look a device preset up by name.
+
+    >>> preset("sram-cim").cycle_time_ns
+    10.0
+    """
+    try:
+        return DEVICE_PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(DEVICE_PRESETS))
+        raise ValueError(f"unknown device preset {name!r}; known: {known}"
+                         ) from None

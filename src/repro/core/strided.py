@@ -1,0 +1,172 @@
+"""Strided/padded generalisation of the VW-SDK model (library extension).
+
+The paper folds stride and padding away: Table I lists each layer with
+an equivalent stride-1 IFM size (e.g. ResNet-18's stride-2 7x7 conv on
+224x224 appears as a stride-1 layer on 112x112).  That is exact for
+cycle counting but loses the real dataflow.  This module models strided
+convolutions natively so the functional simulator can execute them:
+
+Think in *window-index space*: the layer has ``n_win = OFM_h x OFM_w``
+kernel windows on the stride grid.  A parallel window groups
+``nw_h x nw_w`` consecutive grid windows and therefore spans
+
+``PW = K + (nw - 1) * stride``
+
+IFM pixels per axis.  All of eqs. 3-8 carry over with ``windows inside
+the PW`` as the primitive quantity:
+
+* ``N_PW = ceil(n_win_h / nw_h) * ceil(n_win_w / nw_w)``  (the final
+  group shifts back onto the grid, recomputing a few outputs),
+* ``IC_t = floor(rows / (PW_h * PW_w))``, ``AR = ceil(IC / IC_t)``,
+* ``OC_t = floor(cols / (nw_h * nw_w))``, ``AC = ceil(OC / OC_t)``.
+
+With ``stride == 1`` everything reduces exactly to the paper's model
+(property-tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from .array import PIMArray
+from .cycles import CycleBreakdown
+from .layer import ConvLayer
+from .types import MappingError, ceil_div, require_positive_int
+from .window import ParallelWindow
+
+__all__ = [
+    "StridedWindow",
+    "strided_breakdown",
+    "strided_im2col_breakdown",
+    "iter_strided_candidates",
+    "search_strided",
+    "StridedSolution",
+]
+
+
+@dataclass(frozen=True)
+class StridedWindow:
+    """A parallel window expressed in window-index space.
+
+    ``nw_h x nw_w`` consecutive stride-grid kernel windows per axis.
+    """
+
+    nw_h: int
+    nw_w: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "nw_h", require_positive_int("nw_h", self.nw_h))
+        object.__setattr__(self, "nw_w", require_positive_int("nw_w", self.nw_w))
+
+    @property
+    def windows_inside(self) -> int:
+        """Kernel windows computed per parallel-window position."""
+        return self.nw_h * self.nw_w
+
+    def pixel_window(self, layer: ConvLayer) -> ParallelWindow:
+        """IFM pixel extent of this window for *layer*."""
+        return ParallelWindow(
+            h=layer.kernel_h + (self.nw_h - 1) * layer.stride,
+            w=layer.kernel_w + (self.nw_w - 1) * layer.stride,
+        )
+
+
+def strided_breakdown(layer: ConvLayer, array: PIMArray,
+                      window: StridedWindow) -> CycleBreakdown:
+    """Eq. 8 generalised to strided layers.
+
+    Raises :class:`MappingError` for infeasible windows (pixel extent
+    beyond the padded IFM, or a single channel/output not fitting).
+    """
+    pixel = window.pixel_window(layer)
+    if pixel.h > layer.padded_ifm_h or pixel.w > layer.padded_ifm_w:
+        raise MappingError(
+            f"strided window {window.nw_w}x{window.nw_h} spans {pixel} "
+            f"pixels, beyond padded IFM "
+            f"{layer.padded_ifm_h}x{layer.padded_ifm_w}")
+    ic_per_array = array.rows // pixel.area
+    if ic_per_array == 0:
+        raise MappingError(f"window {pixel} exceeds {array.rows} array rows")
+    oc_per_array = array.cols // window.windows_inside
+    if oc_per_array == 0:
+        raise MappingError(
+            f"{window.windows_inside} duplicates exceed {array.cols} columns")
+    ic_t = min(ic_per_array, layer.in_channels)
+    oc_t = min(oc_per_array, layer.out_channels)
+    return CycleBreakdown(
+        n_pw=ceil_div(layer.ofm_h, window.nw_h) * ceil_div(layer.ofm_w,
+                                                           window.nw_w),
+        ar=ceil_div(layer.in_channels, ic_t),
+        ac=ceil_div(layer.out_channels, oc_t),
+        ic_t=ic_t,
+        oc_t=oc_t,
+    )
+
+
+def strided_im2col_breakdown(layer: ConvLayer,
+                             array: PIMArray) -> CycleBreakdown:
+    """Im2col on a strided layer (stride only changes the window count)."""
+    ar = ceil_div(layer.im2col_rows, array.rows)
+    oc_t = min(array.cols, layer.out_channels)
+    ic_t = layer.in_channels if ar == 1 else min(
+        layer.in_channels, max(1, array.rows // layer.kernel_area))
+    return CycleBreakdown(n_pw=layer.num_windows, ar=ar,
+                          ac=ceil_div(layer.out_channels, oc_t),
+                          ic_t=ic_t, oc_t=oc_t)
+
+
+def iter_strided_candidates(layer: ConvLayer) -> Iterator[StridedWindow]:
+    """All feasible window-group shapes, width-major like Algorithm 1."""
+    max_nw_h = layer.ofm_h
+    max_nw_w = layer.ofm_w
+    for nw_h in range(1, max_nw_h + 1):
+        for nw_w in range(1, max_nw_w + 1):
+            if nw_h == 1 and nw_w == 1:
+                continue  # im2col handled by the initialiser
+            yield StridedWindow(nw_h=nw_h, nw_w=nw_w)
+
+
+@dataclass(frozen=True)
+class StridedSolution:
+    """Result of the strided VW-SDK search."""
+
+    layer: ConvLayer
+    array: PIMArray
+    window: StridedWindow
+    breakdown: CycleBreakdown
+
+    @property
+    def cycles(self) -> int:
+        """Total computing cycles."""
+        return self.breakdown.total
+
+    @property
+    def pixel_window(self) -> ParallelWindow:
+        """IFM pixel extent of the chosen window."""
+        return self.window.pixel_window(self.layer)
+
+
+def search_strided(layer: ConvLayer, array: PIMArray) -> StridedSolution:
+    """VW-SDK search generalised to strided/padded layers.
+
+    For ``stride == 1, padding == 0`` this returns the same cycle count
+    as :func:`repro.search.vwsdk.vwsdk_solution` (property-tested).
+
+    >>> from repro.core import ConvLayer, PIMArray
+    >>> conv1 = ConvLayer.square(224, 7, 3, 64, stride=2, padding=3)
+    >>> sol = search_strided(conv1, PIMArray.square(512))
+    >>> sol.cycles < conv1.num_windows        # beats one window per cycle
+    True
+    """
+    best_window = StridedWindow(1, 1)
+    best = strided_im2col_breakdown(layer, array)
+    for window in iter_strided_candidates(layer):
+        try:
+            candidate = strided_breakdown(layer, array, window)
+        except MappingError:
+            continue
+        if candidate.total < best.total:
+            best, best_window = candidate, window
+    return StridedSolution(layer=layer, array=array, window=best_window,
+                           breakdown=best)

@@ -1,0 +1,141 @@
+"""Parallel-window geometry.
+
+A *parallel window* (``PW`` in the paper) is a rectangular patch of the
+input feature map that is driven onto the crossbar rows in one computing
+cycle.  Every kernel-sized window inside the patch is convolved
+simultaneously by a shifted copy of the kernel, so a ``PW_h x PW_w``
+window around a ``K_h x K_w`` kernel produces
+
+``nw = (PW_h - K_h + 1) * (PW_w - K_w + 1)``
+
+output elements per output channel per cycle.  ``PW == K`` degenerates
+to im2col (one window, ``nw == 1``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from .layer import ConvLayer
+from .types import ConfigurationError, MappingError, require_positive_int
+
+__all__ = ["ParallelWindow", "iter_candidate_windows"]
+
+
+@dataclass(frozen=True, order=True)
+class ParallelWindow:
+    """A ``h x w`` parallel window.
+
+    The paper prints window shapes width-first (Table I lists the VGG-13
+    layer-1 optimum as ``10x3``, found with ``PW_w = 10, PW_h = 3``), so
+    :meth:`__str__` renders ``WxH`` to match the paper's tables, while
+    the attributes keep explicit names to avoid ambiguity.
+    """
+
+    h: int
+    w: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "h", require_positive_int("h", self.h))
+        object.__setattr__(self, "w", require_positive_int("w", self.w))
+
+    @classmethod
+    def square(cls, size: int) -> "ParallelWindow":
+        """A square ``size x size`` window."""
+        return cls(h=size, w=size)
+
+    @classmethod
+    def of_kernel(cls, layer: ConvLayer) -> "ParallelWindow":
+        """The kernel-sized window (the im2col degenerate case)."""
+        return cls(h=layer.kernel_h, w=layer.kernel_w)
+
+    @classmethod
+    def parse(cls, spec: str) -> "ParallelWindow":
+        """Parse a paper-style ``WxH`` string (width first).
+
+        >>> ParallelWindow.parse("10x3")
+        ParallelWindow(h=3, w=10)
+        """
+        text = spec.strip().lower()
+        w_text, _, h_text = text.partition("x")
+        if not h_text:
+            raise ConfigurationError(f"window spec must look like '4x3', got {spec!r}")
+        return cls(h=int(h_text), w=int(w_text))
+
+    # ------------------------------------------------------------------
+    @property
+    def area(self) -> int:
+        """Number of IFM elements per channel inside the window."""
+        return self.h * self.w
+
+    @property
+    def is_square(self) -> bool:
+        """Whether the window is square."""
+        return self.h == self.w
+
+    def windows_along(self, layer: ConvLayer) -> Tuple[int, int]:
+        """Sliding kernel positions inside the window: ``(nw_h, nw_w)``.
+
+        Raises :class:`ConfigurationError` if the window is smaller than
+        the kernel in either dimension, and :class:`MappingError` if the
+        layer is strided and the window is larger than the kernel — the
+        ``PW - K + 1`` count assumes stride 1; strided layers must use
+        :class:`repro.core.strided.StridedWindow` (kernel-sized windows,
+        i.e. im2col, remain valid at any stride).
+        """
+        nw_h = self.h - layer.kernel_h + 1
+        nw_w = self.w - layer.kernel_w + 1
+        if nw_h <= 0 or nw_w <= 0:
+            raise ConfigurationError(
+                f"parallel window {self} smaller than kernel "
+                f"{layer.kernel_h}x{layer.kernel_w}"
+            )
+        if layer.stride != 1 and (nw_h, nw_w) != (1, 1):
+            raise MappingError(
+                f"window {self} on a stride-{layer.stride} layer: the "
+                f"stride-1 window count does not apply; use "
+                f"repro.core.strided (or fold the layer first)"
+            )
+        return nw_h, nw_w
+
+    def windows_inside(self, layer: ConvLayer) -> int:
+        """Total kernel windows inside the parallel window (``N_w^P``)."""
+        nw_h, nw_w = self.windows_along(layer)
+        return nw_h * nw_w
+
+    def fits_ifm(self, layer: ConvLayer) -> bool:
+        """Whether the window fits inside the layer's (padded) IFM."""
+        return self.h <= layer.padded_ifm_h and self.w <= layer.padded_ifm_w
+
+    def covers_kernel(self, layer: ConvLayer) -> bool:
+        """Whether the window is at least kernel-sized in both dims."""
+        return self.h >= layer.kernel_h and self.w >= layer.kernel_w
+
+    def transposed(self) -> "ParallelWindow":
+        """The window with height and width swapped."""
+        return ParallelWindow(h=self.w, w=self.h)
+
+    def __str__(self) -> str:  # noqa: D105 - paper-style "WxH"
+        return f"{self.w}x{self.h}"
+
+
+def iter_candidate_windows(layer: ConvLayer) -> Iterator[ParallelWindow]:
+    """Iterate windows exactly in Algorithm 1's scan order.
+
+    The paper's loop increments ``PW_w`` first (inner) and ``PW_h``
+    second (outer), starting from the kernel size and stopping at the IFM
+    size.  The kernel-sized window itself is skipped: Algorithm 1
+    initialises the incumbent with the im2col cycle count instead, and
+    the first candidate evaluated is ``(K_w + 1, K_h)``.
+
+    Scan order matters for tie-breaking: Algorithm 1 only replaces the
+    incumbent on a *strict* improvement, so the first window reaching the
+    optimal cycle count is reported (e.g. ``10x3`` rather than the tying
+    ``4x6`` for VGG-13 layer 1).
+    """
+    for h in range(layer.kernel_h, layer.padded_ifm_h + 1):
+        for w in range(layer.kernel_w, layer.padded_ifm_w + 1):
+            if h == layer.kernel_h and w == layer.kernel_w:
+                continue
+            yield ParallelWindow(h=h, w=w)

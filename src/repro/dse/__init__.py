@@ -1,0 +1,13 @@
+"""Design-space exploration: inverse sizing and Pareto analysis."""
+
+from .pareto import ParetoPoint, pareto_front, window_pareto
+from .requirements import network_cycles, smallest_chip, smallest_square_array
+
+__all__ = [
+    "ParetoPoint",
+    "pareto_front",
+    "window_pareto",
+    "network_cycles",
+    "smallest_square_array",
+    "smallest_chip",
+]

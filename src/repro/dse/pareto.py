@@ -1,0 +1,81 @@
+"""Pareto analysis over the window design space.
+
+A window that minimises cycles is not always the one that maximises
+utilization (smaller windows waste fewer cells on the last channel
+tile).  :func:`window_pareto` extracts the cycles-vs-utilization
+frontier of a layer's full window landscape, which DSE examples use to
+show how sharp — or flat — the trade-off is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple, TypeVar
+
+from ..core.array import PIMArray
+from ..core.layer import ConvLayer
+from ..core.utilization import utilization_report
+from ..search import enumerate_feasible
+
+__all__ = ["ParetoPoint", "pareto_front", "window_pareto"]
+
+T = TypeVar("T")
+
+
+def pareto_front(items: Sequence[T],
+                 objectives: Callable[[T], Tuple[float, ...]]
+                 ) -> List[T]:
+    """Minimising Pareto front of *items* under *objectives*.
+
+    An item is kept when no other item is <= on every objective and <
+    on at least one.
+
+    >>> pareto_front([(1, 5), (2, 2), (3, 3)], lambda p: p)
+    [(1, 5), (2, 2)]
+    """
+    front: List[T] = []
+    for candidate in items:
+        c_obj = objectives(candidate)
+        dominated = False
+        for other in items:
+            if other is candidate:
+                continue
+            o_obj = objectives(other)
+            if (all(o <= c for o, c in zip(o_obj, c_obj))
+                    and any(o < c for o, c in zip(o_obj, c_obj))):
+                dominated = True
+                break
+        if not dominated:
+            front.append(candidate)
+    return front
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One window on the cycles / utilization frontier."""
+
+    window: str
+    cycles: int
+    mean_utilization_pct: float
+    peak_utilization_pct: float
+
+
+def window_pareto(layer: ConvLayer, array: PIMArray) -> List[ParetoPoint]:
+    """Cycles-vs-(negated)-utilization frontier over all windows.
+
+    Returned points are sorted by cycles; the first entry is the
+    cycle-optimal window (Algorithm 1's answer), the last the
+    utilization-optimal one.
+    """
+    points: List[ParetoPoint] = []
+    for solution in enumerate_feasible(layer, array):
+        report = utilization_report(solution)
+        points.append(ParetoPoint(
+            window=str(solution.window),
+            cycles=solution.cycles,
+            mean_utilization_pct=report.mean_pct,
+            peak_utilization_pct=report.peak_pct,
+        ))
+    front = pareto_front(
+        points, lambda p: (p.cycles, -p.mean_utilization_pct))
+    return sorted(front, key=lambda p: p.cycles)

@@ -1,0 +1,87 @@
+"""Inverse design questions: what hardware does a workload need?
+
+The paper answers "given an array, how fast is the layer"; deployment
+asks the inverse: *how big an array* (or *how many arrays*) achieves a
+latency target.  Cycle counts are monotone non-increasing in the array
+size (property-tested), so bisection answers both questions exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..chip.config import ChipConfig
+from ..chip.pipeline import InsufficientArraysError, plan_pipeline
+from ..core.array import PIMArray
+from ..core.types import ConfigurationError
+from ..networks.layerset import Network
+from ..search import solve
+
+__all__ = ["smallest_square_array", "smallest_chip", "network_cycles"]
+
+
+def network_cycles(network: Network, array: PIMArray,
+                   scheme: str = "vw-sdk") -> int:
+    """Total cycles of *network* on *array* (distinct layers)."""
+    return sum(solve(layer, array, scheme).cycles for layer in network)
+
+
+def smallest_square_array(network: Network, target_cycles: int,
+                          scheme: str = "vw-sdk", *,
+                          lo: int = 8, hi: int = 65536) -> Optional[PIMArray]:
+    """Smallest square array meeting a total-cycle target, or ``None``.
+
+    Bisection over the side length; exact because cycles are monotone
+    non-increasing in the array size.
+
+    >>> from repro.networks import resnet18
+    >>> arr = smallest_square_array(resnet18(), 4294)
+    >>> arr is not None and arr.rows <= 512
+    True
+    """
+    if target_cycles < 1:
+        raise ConfigurationError("target_cycles must be >= 1")
+    if network_cycles(network, PIMArray.square(hi), scheme) > target_cycles:
+        return None
+    low, high = lo, hi
+    while low < high:
+        mid = (low + high) // 2
+        if network_cycles(network, PIMArray.square(mid),
+                          scheme) <= target_cycles:
+            high = mid
+        else:
+            low = mid + 1
+    return PIMArray.square(low)
+
+
+def smallest_chip(network: Network, array: PIMArray,
+                  target_bottleneck: int, scheme: str = "vw-sdk", *,
+                  max_arrays: int = 1 << 20) -> Optional[ChipConfig]:
+    """Fewest crossbars whose pipeline bottleneck meets the target.
+
+    Bisection over the array count (the greedy allocator's bottleneck
+    is monotone non-increasing in the budget).  Returns ``None`` when
+    even ``max_arrays`` crossbars cannot reach the target.
+    """
+    if target_bottleneck < 1:
+        raise ConfigurationError("target_bottleneck must be >= 1")
+
+    def bottleneck(count: int) -> Optional[int]:
+        try:
+            plan = plan_pipeline(network, ChipConfig(array, count), scheme)
+        except InsufficientArraysError:
+            return None
+        return plan.bottleneck_cycles
+
+    top = bottleneck(max_arrays)
+    if top is None or top > target_bottleneck:
+        return None
+    low, high = 1, max_arrays
+    while low < high:
+        mid = (low + high) // 2
+        value = bottleneck(mid)
+        if value is not None and value <= target_bottleneck:
+            high = mid
+        else:
+            low = mid + 1
+    return ChipConfig(array, low)

@@ -1,0 +1,30 @@
+"""Paper-experiment drivers: one module per table/figure.
+
+Each module exposes ``run()`` returning a result object with
+``to_text()``, and (where the paper prints concrete values) ``verify()``
+returning ``(name, expected, measured, ok)`` tuples.  See
+``DESIGN.md`` section 4 for the experiment index.
+"""
+
+from . import fig1, fig2, fig4, fig5, fig7, fig8, fig9, table1
+from .runner import (
+    EXPERIMENTS,
+    format_scoreboard,
+    run_all,
+    verification_scoreboard,
+)
+
+__all__ = [
+    "table1",
+    "fig1",
+    "fig2",
+    "fig4",
+    "fig5",
+    "fig7",
+    "fig8",
+    "fig9",
+    "EXPERIMENTS",
+    "run_all",
+    "verification_scoreboard",
+    "format_scoreboard",
+]

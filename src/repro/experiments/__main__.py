@@ -1,0 +1,22 @@
+"""``python -m repro.experiments [--export DIR]`` — run all experiments."""
+
+import argparse
+
+from .runner import main
+
+
+def _cli() -> int:
+    parser = argparse.ArgumentParser(prog="repro.experiments")
+    parser.add_argument("--export", metavar="DIR", default=None,
+                        help="also write CSV/JSON artifacts to DIR")
+    args = parser.parse_args()
+    status = main()
+    if args.export:
+        from .export import export_all
+        paths = export_all(args.export)
+        print(f"exported {len(paths)} artifacts to {args.export}")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(_cli())

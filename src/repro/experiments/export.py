@@ -1,0 +1,77 @@
+"""Export every experiment's data to CSV/JSON artifacts.
+
+``python -m repro.experiments --export OUTDIR`` (or
+:func:`export_all`) writes one machine-readable file per table/figure,
+so downstream plotting (matplotlib, gnuplot, spreadsheets) never has to
+parse the text reports.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List
+
+from ..reporting import series_to_rows, write_csv, write_json
+from . import fig1, fig4, fig5, fig7, fig8, fig9, table1
+from .runner import verification_scoreboard
+
+__all__ = ["export_all"]
+
+
+def export_all(out_dir) -> List[Path]:
+    """Write every experiment artifact under *out_dir*; returns paths."""
+    out = Path(out_dir)
+    written: List[Path] = []
+
+    results = table1.run()
+    for name, result in results.items():
+        slug = name.lower().replace("-", "")
+        written.append(write_csv(out / f"table1_{slug}.csv", result.rows))
+        im, sdk, vw = result.totals
+        written.append(write_json(out / f"table1_{slug}_totals.json", {
+            "im2col": im, "sdk": sdk, "vw-sdk": vw}))
+
+    written.append(write_csv(out / "fig1.csv", fig1.run().rows))
+
+    fig4_result = fig4.run()
+    written.append(write_csv(out / "fig4_capacities.csv",
+                             fig4_result.capacities))
+    written.append(write_json(out / "fig4_vgg_points.json",
+                              fig4_result.vgg_points))
+
+    fig5_result = fig5.run()
+    written.append(write_csv(out / "fig5a.csv", fig5_result.example_rows))
+    written.append(write_csv(out / "fig5b.csv",
+                             series_to_rows(fig5_result.series)))
+
+    fig7_result = fig7.run()
+    written.append(write_csv(out / "fig7a.csv",
+                             series_to_rows(fig7_result.ic_series)))
+    written.append(write_csv(out / "fig7b.csv",
+                             series_to_rows(fig7_result.oc_series)))
+
+    fig8_result = fig8.run()
+    for net, series in fig8_result.per_layer.items():
+        slug = net.lower().replace("-", "")
+        written.append(write_csv(out / f"fig8a_{slug}.csv",
+                                 series_to_rows(series)))
+    for net, series in fig8_result.per_array.items():
+        slug = net.lower().replace("-", "")
+        written.append(write_csv(out / f"fig8b_{slug}.csv",
+                                 series_to_rows(series)))
+
+    fig9_result = fig9.run()
+    written.append(write_csv(out / "fig9a.csv", fig9_result.panel_a))
+    written.append(write_csv(out / "fig9b.csv", fig9_result.panel_b))
+
+    scoreboard: List[Dict[str, object]] = []
+    for check in verification_scoreboard():
+        scoreboard.append({
+            "experiment": check.experiment,
+            "check": check.name,
+            "paper": repr(check.expected),
+            "measured": repr(check.measured),
+            "pass": check.ok,
+        })
+    written.append(write_csv(out / "scoreboard.csv", scoreboard))
+    return written

@@ -1,0 +1,100 @@
+"""Fig. 4 — computable channel sizes per mapping vs PIM array size.
+
+For each array size the figure marks how many input channels (x) and
+output channels (y) can be mapped *in one cycle* by im2col (circles)
+and by SDK with a 4x4 parallel window (squares), against the actual
+channel counts of VGG-13's layers (triangles).  The paper's takeaway:
+contemporary arrays cannot hold whole layers, so channel tiling is
+mandatory — the motivation for VW-SDK.
+
+One-cycle capacity for a 3x3 kernel:
+
+* im2col:  ``IC_max = floor(rows / 9)``,   ``OC_max = cols``
+* SDK 4x4: ``IC_max = floor(rows / 16)``,  ``OC_max = floor(cols / 4)``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.array import PIMArray
+from ..networks import vgg13
+from ..reporting import format_table
+
+__all__ = ["Fig4Result", "run", "verify", "ARRAYS"]
+
+ARRAYS: Tuple[PIMArray, ...] = (
+    PIMArray(128, 128), PIMArray(256, 256), PIMArray(512, 512),
+    PIMArray(512, 256),
+)
+
+_KERNEL_AREA = 9          # 3x3, the figure's kernel
+_SDK_WINDOW_AREA = 16     # 4x4
+_SDK_DUP = 4              # 2x2 kernel copies
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    """One-cycle channel capacities and the VGG-13 demand points."""
+
+    capacities: List[Dict[str, object]]
+    vgg_points: List[Tuple[int, int]]
+
+    def to_text(self) -> str:
+        """Figure data as text."""
+        cap = format_table(self.capacities,
+                           title="One-cycle computable channels (3x3 kernel)")
+        demand = ", ".join(f"({ic},{oc})" for ic, oc in self.vgg_points)
+        return (f"{cap}\n"
+                f"VGG-13 layer demand (IC, OC): {demand}\n"
+                f"=> every array is exceeded from conv3 onward, "
+                f"motivating channel tiling")
+
+    def mappable_layers(self, mapping: str, array: PIMArray) -> int:
+        """How many VGG-13 layers fit in one cycle for *mapping*."""
+        for row in self.capacities:
+            if row["array"] == str(array) and row["mapping"] == mapping:
+                ic_max, oc_max = row["IC_max"], row["OC_max"]
+                return sum(1 for ic, oc in self.vgg_points
+                           if ic <= ic_max and oc <= oc_max)
+        raise KeyError(f"{mapping} @ {array} not in result")
+
+
+def run() -> Fig4Result:
+    """Compute the figure's capacity table and demand points."""
+    capacities: List[Dict[str, object]] = []
+    for array in ARRAYS:
+        capacities.append({
+            "array": str(array),
+            "mapping": "im2col",
+            "IC_max": array.rows // _KERNEL_AREA,
+            "OC_max": array.cols,
+        })
+        capacities.append({
+            "array": str(array),
+            "mapping": "sdk-4x4",
+            "IC_max": array.rows // _SDK_WINDOW_AREA,
+            "OC_max": array.cols // _SDK_DUP,
+        })
+    points = [(layer.in_channels, layer.out_channels) for layer in vgg13()]
+    return Fig4Result(capacities=capacities, vgg_points=points)
+
+
+def verify() -> List[Tuple[str, object, object, bool]]:
+    """Check the headline capacities the figure draws at 512x512."""
+    result = run()
+    expected = {
+        ("512x512", "im2col"): (56, 512),
+        ("512x512", "sdk-4x4"): (32, 128),
+        ("128x128", "im2col"): (14, 128),
+        ("128x128", "sdk-4x4"): (8, 32),
+    }
+    checks = []
+    for row in result.capacities:
+        key = (row["array"], row["mapping"])
+        if key in expected:
+            measured = (row["IC_max"], row["OC_max"])
+            checks.append((f"Fig4 {key[1]} @ {key[0]}", expected[key],
+                           measured, measured == expected[key]))
+    return checks

@@ -1,0 +1,103 @@
+"""Fig. 5 — why rectangular windows win.
+
+(a) The worked example: a 512x256 array, 3x3 kernel, IC = 42, OC = 96,
+IFM 4x4.  Im2col needs 4 cycles, the square 4x4 window *also* needs 4
+(its extra AR and AC cycles cancel its window savings), while the 4x3
+rectangle needs 2 — the paper's motivating observation.
+
+(b) Speedup over im2col of three fixed windows (4x4 square, 6x3 and
+4x3 rectangles) as the IFM size sweeps over VGGNet-style sizes.  The
+4x3 rectangle achieves ~2x over the 4x4 square across the sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.array import PIMArray
+from ..core.cycles import im2col_cycles, variable_window_cycles
+from ..core.layer import ConvLayer
+from ..core.types import MappingError
+from ..core.window import ParallelWindow
+from ..reporting import Series, format_series_table, format_table
+
+__all__ = ["Fig5Result", "run", "verify", "ARRAY", "IFM_SIZES", "WINDOWS"]
+
+ARRAY = PIMArray(512, 256)
+IC, OC, KERNEL = 42, 96, 3
+IFM_SIZES: Tuple[int, ...] = (7, 8, 14, 16, 28, 32, 56, 64, 112, 128,
+                              224, 256)
+WINDOWS: Dict[str, ParallelWindow] = {
+    "4x4 square": ParallelWindow(h=4, w=4),
+    "6x3 rectangle": ParallelWindow(h=3, w=6),
+    "4x3 rectangle": ParallelWindow(h=3, w=4),
+}
+
+
+def _cycles(layer: ConvLayer, window: ParallelWindow) -> int:
+    return variable_window_cycles(layer, ARRAY, window).total
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """Worked example rows (a) and speedup series (b)."""
+
+    example_rows: List[Dict[str, object]]
+    series: List[Series]
+
+    def to_text(self) -> str:
+        """Both panels as text."""
+        a = format_table(
+            self.example_rows,
+            title=(f"Fig. 5(a): 3x3 kernel, IC={IC}, OC={OC}, IFM 4x4 "
+                   f"on {ARRAY}"))
+        b = format_series_table(self.series, x_label="IFM")
+        return (f"{a}\n\nFig. 5(b): speedup over im2col "
+                f"(3x3 kernel, IC={IC}, OC={OC}, array {ARRAY})\n{b}")
+
+
+def run() -> Fig5Result:
+    """Compute both panels."""
+    example = ConvLayer.square(4, KERNEL, IC, OC)
+    rows: List[Dict[str, object]] = []
+    bd = im2col_cycles(example, ARRAY)
+    rows.append({"mapping": "im2col (3x3)", "N windows": bd.n_pw,
+                 "AR": bd.ar, "AC": bd.ac, "cycles": bd.total})
+    for name, window in (("SDK (4x4)", ParallelWindow.square(4)),
+                         ("VW-SDK (4x3)", ParallelWindow(h=3, w=4))):
+        wbd = variable_window_cycles(example, ARRAY, window)
+        rows.append({"mapping": name, "N windows": wbd.n_pw,
+                     "AR": wbd.ar, "AC": wbd.ac, "cycles": wbd.total})
+
+    series: List[Series] = []
+    for name, window in WINDOWS.items():
+        speedups: List[float] = []
+        for size in IFM_SIZES:
+            layer = ConvLayer.square(size, KERNEL, IC, OC)
+            base = im2col_cycles(layer, ARRAY).total
+            try:
+                ours = _cycles(layer, window)
+                speedups.append(base / ours)
+            except MappingError:
+                speedups.append(float("nan"))
+        series.append(Series(name=name, x=IFM_SIZES, y=tuple(speedups)))
+    return Fig5Result(example_rows=rows, series=series)
+
+
+def verify() -> List[Tuple[str, object, object, bool]]:
+    """Check panel (a)'s 4/4/2 cycles and panel (b)'s ~2x claim."""
+    result = run()
+    checks: List[Tuple[str, object, object, bool]] = []
+    cycles = {row["mapping"]: row["cycles"] for row in result.example_rows}
+    for name, expected in (("im2col (3x3)", 4), ("SDK (4x4)", 4),
+                           ("VW-SDK (4x3)", 2)):
+        checks.append((f"Fig5a {name}", expected, cycles[name],
+                       cycles[name] == expected))
+    by_name = {s.name: s for s in result.series}
+    idx = IFM_SIZES.index(14)
+    ratio = (by_name["4x3 rectangle"].y[idx]
+             / by_name["4x4 square"].y[idx])
+    checks.append(("Fig5b 4x3 vs 4x4 speedup at IFM 14 (~2x)", 2.0,
+                   round(ratio, 3), abs(ratio - 2.0) < 0.25))
+    return checks

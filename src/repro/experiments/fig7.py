@@ -1,0 +1,80 @@
+"""Fig. 7 — how the array bounds the channel tiles.
+
+(a) Tiled input channels ``IC_t = floor(rows / PW_area)`` against the
+parallel-window area, for 128 / 256 / 512 array rows (eq. 4).
+
+(b) Tiled output channels ``OC_t = floor(cols / N_windows)`` against
+the number of windows in the parallel window, for 128 / 256 / 512
+array columns (eq. 6).
+
+Pure hyperbola staircases — the figure exists to show why bigger
+windows must trade channels, which is the tension VW-SDK optimises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..reporting import Series, format_series_table
+
+__all__ = ["Fig7Result", "run", "verify", "PW_AREAS", "WINDOW_COUNTS"]
+
+#: The paper's x axes.
+PW_AREAS: Tuple[int, ...] = tuple(range(9, 77))        # 3x3 .. ~deep
+WINDOW_COUNTS: Tuple[int, ...] = tuple(range(1, 16))
+ROW_SIZES: Tuple[int, ...] = (128, 256, 512)
+COL_SIZES: Tuple[int, ...] = (128, 256, 512)
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """The two staircase families."""
+
+    ic_series: List[Series]
+    oc_series: List[Series]
+
+    def to_text(self) -> str:
+        """Both panels as text (down-sampled x for readability)."""
+        ic_small = [Series(s.name, s.x[::7], s.y[::7])
+                    for s in self.ic_series]
+        a = format_series_table(ic_small, x_label="PW area")
+        b = format_series_table(self.oc_series, x_label="N windows")
+        return (f"Fig. 7(a): tiled ICs vs parallel-window area (eq. 4)\n{a}"
+                f"\n\nFig. 7(b): tiled OCs vs windows per PW (eq. 6)\n{b}")
+
+
+def run() -> Fig7Result:
+    """Compute both staircases."""
+    ic_series = [
+        Series(name=f"{rows} rows", x=PW_AREAS,
+               y=tuple(float(rows // area) for area in PW_AREAS))
+        for rows in ROW_SIZES
+    ]
+    oc_series = [
+        Series(name=f"{cols} columns", x=WINDOW_COUNTS,
+               y=tuple(float(cols // n) for n in WINDOW_COUNTS))
+        for cols in COL_SIZES
+    ]
+    return Fig7Result(ic_series=ic_series, oc_series=oc_series)
+
+
+def verify() -> List[Tuple[str, object, object, bool]]:
+    """Spot-check values the paper's evaluation relies on."""
+    result = run()
+    by_rows = {s.name: s for s in result.ic_series}
+    by_cols = {s.name: s for s in result.oc_series}
+    checks = []
+    # IC_t for the 4x3 window (area 12) at 512 rows must be 42 — the
+    # tiled channel count in Table I's VGG-13 layer 5 / ResNet layer 4.
+    ic_42 = by_rows["512 rows"].y[PW_AREAS.index(12)]
+    checks.append(("Fig7a IC_t(area=12, 512 rows)", 42.0, ic_42,
+                   ic_42 == 42.0))
+    ic_32 = by_rows["512 rows"].y[PW_AREAS.index(16)]
+    checks.append(("Fig7a IC_t(area=16, 512 rows)", 32.0, ic_32,
+                   ic_32 == 32.0))
+    # OC_t for 4 windows at 512 columns must be 128 (VGG-13 layer 3/4).
+    oc_128 = by_cols["512 columns"].y[WINDOW_COUNTS.index(4)]
+    checks.append(("Fig7b OC_t(4 windows, 512 cols)", 128.0, oc_128,
+                   oc_128 == 128.0))
+    return checks

@@ -1,0 +1,118 @@
+"""Fig. 8 — speedups over im2col.
+
+(a) Per-layer speedup of SDK and VW-SDK (normalised to im2col) for each
+layer of VGG-13 and ResNet-18 on a 512x512 array, plus the totals —
+the headline 3.16x / 1.49x (VGG-13) and 4.67x / 1.69x (ResNet-18).
+
+(b) Whole-network speedup for the five array sizes the paper sweeps
+(128x128, 128x256, 256x256, 512x256, 512x512): both algorithms improve
+with array size, VW-SDK uniformly dominating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.array import PAPER_ARRAY_SIZES, PIMArray
+from ..networks import Network, compare_schemes, resnet18, vgg13
+from ..reporting import Series, format_series_table
+
+__all__ = ["Fig8Result", "run", "verify", "PAPER_TOTAL_SPEEDUPS"]
+
+#: network -> (VW vs im2col, VW vs SDK) at 512x512, from the abstract.
+PAPER_TOTAL_SPEEDUPS: Dict[str, Tuple[float, float]] = {
+    "VGG-13": (3.16, 1.49),
+    "Resnet-18": (4.67, 1.69),
+}
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    """Per-layer series (a) and array-size series (b) per network."""
+
+    per_layer: Dict[str, List[Series]]
+    per_array: Dict[str, List[Series]]
+    totals_512: Dict[str, Tuple[float, float]]
+
+    def to_text(self) -> str:
+        """Both panels as text."""
+        blocks: List[str] = []
+        for net_name, series in self.per_layer.items():
+            blocks.append(f"Fig. 8(a) {net_name} @ 512x512 "
+                          f"(speedup vs im2col)")
+            blocks.append(format_series_table(series, x_label="layer"))
+            vw_im, vw_sdk = self.totals_512[net_name]
+            blocks.append(f"totals: VW-SDK vs im2col {vw_im:.2f}x, "
+                          f"vs SDK {vw_sdk:.2f}x")
+            blocks.append("")
+        for net_name, series in self.per_array.items():
+            blocks.append(f"Fig. 8(b) {net_name} total speedup vs im2col, "
+                          f"per array size")
+            blocks.append(format_series_table(series, x_label="array"))
+            blocks.append("")
+        return "\n".join(blocks)
+
+
+def _per_layer_series(network: Network, array: PIMArray) -> List[Series]:
+    reports = compare_schemes(network, array)
+    im = reports["im2col"]
+    labels = tuple(str(i) for i in range(1, len(network) + 1)) + ("total",)
+    series = []
+    for scheme in ("sdk", "vw-sdk"):
+        per_layer = reports[scheme].layer_speedups_over(im)
+        total = reports[scheme].speedup_over(im)
+        series.append(Series(name=scheme, x=labels,
+                             y=tuple(per_layer) + (total,)))
+    return series
+
+
+def run(arrays: Tuple[PIMArray, ...] = PAPER_ARRAY_SIZES) -> Fig8Result:
+    """Compute both panels for VGG-13 and ResNet-18."""
+    networks = (vgg13(), resnet18())
+    per_layer: Dict[str, List[Series]] = {}
+    per_array: Dict[str, List[Series]] = {}
+    totals_512: Dict[str, Tuple[float, float]] = {}
+    big = PIMArray.square(512)
+    for net in networks:
+        per_layer[net.name] = _per_layer_series(net, big)
+        reports = compare_schemes(net, big)
+        totals_512[net.name] = (
+            reports["vw-sdk"].speedup_over(reports["im2col"]),
+            reports["vw-sdk"].speedup_over(reports["sdk"]),
+        )
+        labels = tuple(str(a) for a in arrays)
+        sdk_speed: List[float] = []
+        vw_speed: List[float] = []
+        for array in arrays:
+            rep = compare_schemes(net, array)
+            sdk_speed.append(rep["sdk"].speedup_over(rep["im2col"]))
+            vw_speed.append(rep["vw-sdk"].speedup_over(rep["im2col"]))
+        per_array[net.name] = [
+            Series(name="sdk", x=labels, y=tuple(sdk_speed)),
+            Series(name="vw-sdk", x=labels, y=tuple(vw_speed)),
+        ]
+    return Fig8Result(per_layer=per_layer, per_array=per_array,
+                      totals_512=totals_512)
+
+
+def verify() -> List[Tuple[str, object, object, bool]]:
+    """Check the abstract's headline speedups and panel-(b) monotonicity."""
+    result = run()
+    checks: List[Tuple[str, object, object, bool]] = []
+    for net_name, (exp_im, exp_sdk) in PAPER_TOTAL_SPEEDUPS.items():
+        got_im, got_sdk = result.totals_512[net_name]
+        checks.append((f"Fig8a {net_name} VW vs im2col", exp_im,
+                       round(got_im, 2), round(got_im, 2) == exp_im))
+        checks.append((f"Fig8a {net_name} VW vs SDK", exp_sdk,
+                       round(got_sdk, 2), round(got_sdk, 2) == exp_sdk))
+    for net_name, series in result.per_array.items():
+        vw = next(s for s in series if s.name == "vw-sdk")
+        sdk = next(s for s in series if s.name == "sdk")
+        dominates = all(v >= s for v, s in zip(vw.y, sdk.y))
+        checks.append((f"Fig8b {net_name} VW >= SDK on every array", True,
+                       dominates, dominates))
+        grows = vw.y[-1] >= vw.y[0]
+        checks.append((f"Fig8b {net_name} VW speedup grows with array",
+                       True, grows, grows))
+    return checks

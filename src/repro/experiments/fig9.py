@@ -1,0 +1,107 @@
+"""Fig. 9 — PIM array utilization (eq. 9).
+
+(a) Utilization of im2col / SDK / VW-SDK for the first six VGG-13
+layers at 512x512.  The paper's marquee number: VW-SDK reaches **up to
+73.8%** at layer 5 where the baselines sit near 45%.
+
+(b) Layer-4 and layer-5 utilization across array sizes — VW-SDK's
+advantage widens on larger arrays.
+
+Eq. 9 averages the used-cell fraction over the ``AR x AC`` tile grid;
+"up to" refers to the best tile (the last, partially-filled channel
+tile drags the average down).  We report both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.array import PIMArray
+from ..core.utilization import utilization_report
+from ..networks import compare_schemes, vgg13
+from ..reporting import format_table
+
+__all__ = ["Fig9Result", "run", "verify", "ARRAY_SWEEP"]
+
+ARRAY_SWEEP: Tuple[PIMArray, ...] = (
+    PIMArray(128, 128), PIMArray(256, 256), PIMArray(512, 256),
+    PIMArray(512, 512),
+)
+_SCHEMES = ("im2col", "sdk", "vw-sdk")
+_PANEL_A_LAYERS = 6
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    """Utilization tables for both panels (mean and peak percentages)."""
+
+    panel_a: List[Dict[str, object]]
+    panel_b: List[Dict[str, object]]
+
+    def to_text(self) -> str:
+        """Both panels as text."""
+        a = format_table(
+            self.panel_a,
+            title="Fig. 9(a): VGG-13 utilization @ 512x512 "
+                  "(mean% / peak% per eq. 9)")
+        b = format_table(
+            self.panel_b,
+            title="Fig. 9(b): layer4 & layer5 utilization across arrays")
+        return f"{a}\n\n{b}"
+
+    def peak(self, layer_index: int, scheme: str) -> float:
+        """Peak-tile utilization % of a panel-(a) layer (1-based)."""
+        for row in self.panel_a:
+            if row["layer"] == layer_index:
+                return float(str(row[f"{scheme} peak"]))
+        raise KeyError(layer_index)
+
+
+def _layer_rows(array: PIMArray, layer_count: int) -> List[Dict[str, object]]:
+    reports = compare_schemes(vgg13(), array, _SCHEMES)
+    rows: List[Dict[str, object]] = []
+    for i in range(layer_count):
+        row: Dict[str, object] = {"layer": i + 1}
+        for scheme in _SCHEMES:
+            rep = utilization_report(reports[scheme].solutions[i])
+            row[f"{scheme} mean"] = f"{rep.mean_pct:.1f}"
+            row[f"{scheme} peak"] = f"{rep.peak_pct:.1f}"
+        rows.append(row)
+    return rows
+
+
+def run() -> Fig9Result:
+    """Compute both panels."""
+    panel_a = _layer_rows(PIMArray.square(512), _PANEL_A_LAYERS)
+    panel_b: List[Dict[str, object]] = []
+    net = vgg13()
+    for array in ARRAY_SWEEP:
+        reports = compare_schemes(net, array, _SCHEMES)
+        for layer_index in (4, 5):
+            row: Dict[str, object] = {"array": str(array),
+                                      "layer": layer_index}
+            for scheme in _SCHEMES:
+                rep = utilization_report(
+                    reports[scheme].solutions[layer_index - 1])
+                row[f"{scheme} mean"] = f"{rep.mean_pct:.1f}"
+                row[f"{scheme} peak"] = f"{rep.peak_pct:.1f}"
+            panel_b.append(row)
+    return Fig9Result(panel_a=panel_a, panel_b=panel_b)
+
+
+def verify() -> List[Tuple[str, object, object, bool]]:
+    """Check the 73.8% layer-5 peak and the qualitative ordering."""
+    result = run()
+    checks: List[Tuple[str, object, object, bool]] = []
+    peak5 = result.peak(5, "vw-sdk")
+    checks.append(("Fig9a VW-SDK layer-5 peak (paper: up to 73.8%)",
+                   73.8, peak5, abs(peak5 - 73.8) < 0.1))
+    for layer_index in (4, 5, 6):
+        vw = result.peak(layer_index, "vw-sdk")
+        im = result.peak(layer_index, "im2col")
+        sdk = result.peak(layer_index, "sdk")
+        better = vw > im and vw > sdk
+        checks.append((f"Fig9a layer {layer_index}: VW peak beats baselines",
+                       True, better, better))
+    return checks

@@ -1,0 +1,88 @@
+"""Run every paper experiment and collect pass/fail verification.
+
+``python -m repro.experiments`` (or ``vwsdk experiments``) executes all
+drivers, prints each regenerated table/figure, and ends with the
+verification scoreboard comparing against the paper's printed values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from . import fig1, fig2, fig4, fig5, fig7, fig8, fig9, table1
+
+__all__ = ["EXPERIMENTS", "run_all", "verification_scoreboard",
+           "format_scoreboard"]
+
+#: experiment id -> (runner returning an object with .to_text(), verifier).
+EXPERIMENTS: Dict[str, Tuple[Callable[[], object], Callable[[], list]]] = {
+    "table1": (table1.run, table1.verify),
+    "fig1": (fig1.run, fig1.verify),
+    "fig2": (fig2.run, lambda: []),
+    "fig4": (fig4.run, fig4.verify),
+    "fig5": (fig5.run, fig5.verify),
+    "fig7": (fig7.run, fig7.verify),
+    "fig8": (fig8.run, fig8.verify),
+    "fig9": (fig9.run, fig9.verify),
+}
+
+
+@dataclass(frozen=True)
+class Check:
+    """One verification line: paper value vs regenerated value."""
+
+    experiment: str
+    name: str
+    expected: object
+    measured: object
+    ok: bool
+
+
+def run_all() -> Dict[str, str]:
+    """Run every experiment; experiment id -> rendered text."""
+    out: Dict[str, str] = {}
+    for exp_id, (runner, _) in EXPERIMENTS.items():
+        result = runner()
+        if isinstance(result, dict):  # table1 returns per-network results
+            out[exp_id] = "\n\n".join(r.to_text() for r in result.values())
+        else:
+            out[exp_id] = result.to_text()
+    return out
+
+
+def verification_scoreboard() -> List[Check]:
+    """Every paper-vs-measured check across all experiments."""
+    checks: List[Check] = []
+    for exp_id, (_, verifier) in EXPERIMENTS.items():
+        for name, expected, measured, ok in verifier():
+            checks.append(Check(experiment=exp_id, name=name,
+                                expected=expected, measured=measured, ok=ok))
+    return checks
+
+
+def format_scoreboard(checks: List[Check]) -> str:
+    """Human-readable scoreboard with a pass/fail summary line."""
+    lines = []
+    for check in checks:
+        status = "PASS" if check.ok else "FAIL"
+        lines.append(f"[{status}] {check.name}: paper={check.expected} "
+                     f"measured={check.measured}")
+    passed = sum(1 for c in checks if c.ok)
+    lines.append(f"-- {passed}/{len(checks)} checks passed --")
+    return "\n".join(lines)
+
+
+def main() -> int:
+    """CLI entry: print everything, return 0 only if all checks pass."""
+    for exp_id, text in run_all().items():
+        print(f"{'=' * 72}\n{exp_id}\n{'=' * 72}")
+        print(text)
+        print()
+    checks = verification_scoreboard()
+    print(format_scoreboard(checks))
+    return 0 if all(c.ok for c in checks) else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI
+    raise SystemExit(main())

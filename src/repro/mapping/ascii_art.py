@@ -1,0 +1,72 @@
+"""ASCII rendering of crossbar layouts (the paper's Fig. 2, in text).
+
+For small layers this draws which cells of a tile are mapped, one
+character per cell, so the structural difference between im2col, SMD,
+SDK and VW-SDK layouts is visible in a terminal:
+
+* digits/letters — mapped cell (the character encodes the *kernel copy*
+  the cell belongs to, i.e. the window offset of its column),
+* ``.`` — idle cell inside the tile footprint.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.types import MappingError
+from .plan import MappingPlan, TilePlan
+
+__all__ = ["render_tile", "render_plan"]
+
+_GLYPHS = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def render_tile(plan: MappingPlan, tile: TilePlan,
+                max_rows: int = 64, max_cols: int = 96) -> str:
+    """Render one tile as ASCII; raises for tiles too large to draw."""
+    if tile.rows_used > max_rows or tile.cols_used > max_cols:
+        raise MappingError(
+            f"tile {tile.rows_used}x{tile.cols_used} too large to render "
+            f"(limits {max_rows}x{max_cols})")
+    layer = plan.layer
+    stride = layer.stride
+    nw_h, nw_w = plan.window.windows_along(layer)
+    lines: List[str] = []
+    header = "     " + "".join(
+        _GLYPHS[(int(c[1]) * nw_w + int(c[2])) % len(_GLYPHS)]
+        for c in tile.col_desc)
+    lines.append(header + "   (column -> window copy)")
+    for r in range(tile.rows_used):
+        c_loc, py, px = (int(v) for v in tile.row_desc[r])
+        cells = []
+        for q in range(tile.cols_used):
+            _, wy, wx = (int(v) for v in tile.col_desc[q])
+            ky = py - wy * stride
+            kx = px - wx * stride
+            inside = (0 <= ky < layer.kernel_h and 0 <= kx < layer.kernel_w)
+            cells.append(_GLYPHS[(wy * nw_w + wx) % len(_GLYPHS)]
+                         if inside else ".")
+        label = f"c{c_loc}({py},{px})"
+        lines.append(f"{label:>4s} " + "".join(cells))
+    return "\n".join(lines)
+
+
+def render_plan(plan: MappingPlan, max_tiles: int = 2) -> str:
+    """Render the first tiles of a plan with a summary header."""
+    sol = plan.solution
+    out = [
+        f"{sol.scheme} layout of {sol.layer.describe()} on {sol.array}",
+        f"window {plan.window}, {plan.ar_tiles}x{plan.ac_tiles} tiles, "
+        f"{len(plan.origins)} parallel-window positions, "
+        f"{plan.total_cycles} cycles",
+    ]
+    shown = 0
+    for ar_index, ar_row in enumerate(plan.tiles):
+        for ac_index, tile in enumerate(ar_row):
+            if shown >= max_tiles:
+                return "\n".join(out)
+            out.append(f"-- tile[{ar_index}][{ac_index}]: "
+                       f"{tile.rows_used} rows x {tile.cols_used} cols --")
+            out.append(render_tile(plan, tile))
+            shown += 1
+    return "\n".join(out)

@@ -1,0 +1,283 @@
+"""Materialised crossbar layouts for every mapping scheme.
+
+A :class:`MappingPlan` turns an analytical
+:class:`~repro.search.result.MappingSolution` into something executable:
+
+* a grid of :class:`TilePlan` (one per ``AR x AC`` array programming),
+  each describing which (channel, window-row, window-col) input element
+  drives each crossbar row and which (out-channel, window-offset) output
+  each column produces, plus the weight matrix to program;
+* the list of parallel-window origins over the IFM (the final
+  position clamps to the image edge, recomputing a few outputs — the
+  recomputed values are identical, so the engine may overwrite them).
+
+Row/column descriptor conventions (all integer numpy arrays):
+
+* ``row_desc[r] = (c, py, px)`` — row ``r`` is driven by IFM channel
+  ``c`` (local to the tile's channel slice) at offset ``(py, px)``
+  inside the parallel window.
+* ``col_desc[q] = (oc, wy, wx)`` — column ``q`` accumulates the output
+  of window index ``(wy, wx)`` inside the parallel window for output
+  channel ``oc`` (local to the tile's output slice).  Window indices
+  are in stride units: the kernel sits at pixel offset
+  ``(wy*stride, wx*stride)``.
+
+The cell at ``(r, q)`` holds ``W[oc, c, py - wy*s, px - wx*s]`` when
+that kernel coordinate exists, else the cell is unmapped (masked out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.array import PIMArray
+from ..core.layer import ConvLayer
+from ..core.types import MappingError
+from ..core.utilization import tile_sizes
+from ..core.window import ParallelWindow
+from ..search.result import MappingSolution
+
+__all__ = ["TilePlan", "MappingPlan", "build_plan"]
+
+
+@dataclass(frozen=True)
+class TilePlan:
+    """One array programming: row/column descriptors and weight builder.
+
+    ``channel_slice`` / ``oc_slice`` locate the tile inside the layer's
+    full channel ranges, so descriptors can stay tile-local.
+    """
+
+    row_desc: np.ndarray          # (R, 3) int: (local c, py, px)
+    col_desc: np.ndarray          # (C, 3) int: (local oc, wy, wx)
+    channel_slice: Tuple[int, int]
+    oc_slice: Tuple[int, int]
+
+    @property
+    def rows_used(self) -> int:
+        """Crossbar rows driven by this tile."""
+        return int(self.row_desc.shape[0])
+
+    @property
+    def cols_used(self) -> int:
+        """Crossbar columns read by this tile."""
+        return int(self.col_desc.shape[0])
+
+    def build_weights(self, kernel: np.ndarray, layer: ConvLayer
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+        """Weight matrix and used-cell mask for this tile.
+
+        Parameters
+        ----------
+        kernel:
+            Full layer weights, shape ``(OC, IC, K_h, K_w)``.
+
+        Returns ``(weights, mask)`` of shape ``(rows_used, cols_used)``;
+        unmapped cells are zero-valued and ``mask`` is ``False`` there.
+        """
+        c0, _ = self.channel_slice
+        o0, _ = self.oc_slice
+        stride = layer.stride
+        c_idx = self.row_desc[:, 0][:, None] + c0
+        py = self.row_desc[:, 1][:, None]
+        px = self.row_desc[:, 2][:, None]
+        oc = self.col_desc[:, 0][None, :] + o0
+        ky = py - self.col_desc[:, 1][None, :] * stride
+        kx = px - self.col_desc[:, 2][None, :] * stride
+        mask = ((ky >= 0) & (ky < layer.kernel_h)
+                & (kx >= 0) & (kx < layer.kernel_w))
+        weights = np.zeros(mask.shape, dtype=kernel.dtype)
+        rows, cols = np.nonzero(mask)
+        weights[rows, cols] = kernel[
+            oc[0, cols], c_idx[rows, 0], ky[rows, cols], kx[rows, cols]]
+        return weights, mask
+
+    def used_cells(self, layer: ConvLayer) -> int:
+        """Number of mapped cells (mask popcount) without building weights."""
+        stride = layer.stride
+        py = self.row_desc[:, 1][:, None]
+        px = self.row_desc[:, 2][:, None]
+        ky = py - self.col_desc[:, 1][None, :] * stride
+        kx = px - self.col_desc[:, 2][None, :] * stride
+        mask = ((ky >= 0) & (ky < layer.kernel_h)
+                & (kx >= 0) & (kx < layer.kernel_w))
+        return int(mask.sum())
+
+
+@dataclass(frozen=True)
+class MappingPlan:
+    """Executable plan: tile grid plus parallel-window schedule."""
+
+    solution: MappingSolution
+    window: ParallelWindow
+    tiles: Tuple[Tuple[TilePlan, ...], ...]   # [ar][ac]
+    origins: Tuple[Tuple[int, int], ...]       # PW pixel origins (y, x)
+    group_origins: Tuple[Tuple[int, int], ...]  # window-grid origins (gy, gx)
+
+    @property
+    def layer(self) -> ConvLayer:
+        """The mapped layer."""
+        return self.solution.layer
+
+    @property
+    def array(self) -> PIMArray:
+        """The target array."""
+        return self.solution.array
+
+    @property
+    def ar_tiles(self) -> int:
+        """Row-tile count."""
+        return len(self.tiles)
+
+    @property
+    def ac_tiles(self) -> int:
+        """Column-tile count."""
+        return len(self.tiles[0])
+
+    @property
+    def total_cycles(self) -> int:
+        """Computing cycles this plan executes (= analytical count)."""
+        return len(self.origins) * self.ar_tiles * self.ac_tiles
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`MappingError`."""
+        from .validate import validate_plan  # local import, no cycle
+        validate_plan(self)
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+
+def _window_grid_origins(layer: ConvLayer, nw_h: int, nw_w: int
+                         ) -> List[Tuple[int, int]]:
+    """Group origins in window-index space, final group clamped."""
+    def starts(total: int, group: int) -> List[int]:
+        out = list(range(0, total - group + 1, group))
+        if not out or out[-1] + group < total:
+            out.append(total - group)
+        return out
+
+    return [(gy, gx)
+            for gy in starts(layer.ofm_h, nw_h)
+            for gx in starts(layer.ofm_w, nw_w)]
+
+
+def _col_desc(nw_h: int, nw_w: int, oc_count: int) -> np.ndarray:
+    """(oc, wy, wx) for every window offset and local output channel."""
+    descs = [(oc, wy, wx)
+             for wy in range(nw_h)
+             for wx in range(nw_w)
+             for oc in range(oc_count)]
+    return np.asarray(descs, dtype=np.int64)
+
+
+def _pw_row_desc(window: ParallelWindow, channels: int) -> np.ndarray:
+    """(c, py, px) channel-major for whole-channel tiles."""
+    descs = [(c, py, px)
+             for c in range(channels)
+             for py in range(window.h)
+             for px in range(window.w)]
+    return np.asarray(descs, dtype=np.int64)
+
+
+def _whole_channel_tiles(layer: ConvLayer, window: ParallelWindow,
+                         ic_t: int, oc_t: int, nw_h: int, nw_w: int
+                         ) -> Tuple[Tuple[TilePlan, ...], ...]:
+    ic_tiles = tile_sizes(layer.in_channels, ic_t)
+    oc_tiles = tile_sizes(layer.out_channels, oc_t)
+    grid: List[Tuple[TilePlan, ...]] = []
+    c0 = 0
+    for ic_size in ic_tiles:
+        row_desc = _pw_row_desc(window, ic_size)
+        row: List[TilePlan] = []
+        o0 = 0
+        for oc_size in oc_tiles:
+            row.append(TilePlan(
+                row_desc=row_desc,
+                col_desc=_col_desc(nw_h, nw_w, oc_size),
+                channel_slice=(c0, c0 + ic_size),
+                oc_slice=(o0, o0 + oc_size),
+            ))
+            o0 += oc_size
+        grid.append(tuple(row))
+        c0 += ic_size
+    return tuple(grid)
+
+
+def _fine_grained_tiles(layer: ConvLayer, window: ParallelWindow,
+                        array_rows: int, oc_t: int, nw_h: int, nw_w: int
+                        ) -> Tuple[Tuple[TilePlan, ...], ...]:
+    """Contiguous channel-major rows, cut every ``array_rows`` rows."""
+    full = _pw_row_desc(window, layer.in_channels)
+    oc_tiles = tile_sizes(layer.out_channels, oc_t)
+    bounds = list(range(0, full.shape[0], array_rows)) + [full.shape[0]]
+    grid: List[Tuple[TilePlan, ...]] = []
+    for start, stop in zip(bounds[:-1], bounds[1:]):
+        chunk = full[start:stop].copy()
+        # Descriptors stay global-channel within the chunk; express as
+        # local channels against slice (c_min, c_max).
+        c_min = int(chunk[:, 0].min())
+        c_max = int(chunk[:, 0].max()) + 1
+        chunk[:, 0] -= c_min
+        row: List[TilePlan] = []
+        o0 = 0
+        for oc_size in oc_tiles:
+            row.append(TilePlan(
+                row_desc=chunk,
+                col_desc=_col_desc(nw_h, nw_w, oc_size),
+                channel_slice=(c_min, c_max),
+                oc_slice=(o0, o0 + oc_size),
+            ))
+            o0 += oc_size
+        grid.append(tuple(row))
+    return tuple(grid)
+
+
+def build_plan(solution: MappingSolution) -> MappingPlan:
+    """Materialise *solution* into an executable :class:`MappingPlan`.
+
+    Scheme dispatch mirrors the cycle model's tiling rules exactly, so
+    ``plan.total_cycles == solution.cycles`` for every scheme handled
+    here.  SMD solutions with duplication > 1 fuse several windows per
+    cycle in a block-diagonal layout and are built by
+    :func:`repro.mapping.smd.build_smd_plan` instead.
+    """
+    layer = solution.layer
+    array = solution.array
+    window = solution.window
+    bd = solution.breakdown
+
+    if solution.scheme == "smd" and solution.duplication > 1:
+        raise MappingError(
+            "SMD plans with duplication need build_smd_plan (see "
+            "repro.mapping.smd)")
+
+    nw_h, nw_w = window.windows_along(layer)
+    if solution.uses_whole_channel_tiling:
+        tiles = _whole_channel_tiles(layer, window, bd.ic_t, bd.oc_t,
+                                     nw_h, nw_w)
+    else:
+        # im2col / SMD-fallback / SDK layouts (and VW-SDK solutions that
+        # degenerated to the fine-grained im2col initialisation) lay
+        # rows out contiguously and cut them at row capacity.
+        tiles = _fine_grained_tiles(layer, window, array.rows,
+                                    bd.oc_t, nw_h, nw_w)
+
+    if len(tiles) != bd.ar or len(tiles[0]) != bd.ac:
+        raise MappingError(
+            f"tile grid {len(tiles)}x{len(tiles[0])} disagrees with "
+            f"breakdown {bd.ar}x{bd.ac} for {solution}")
+
+    group_origins = _window_grid_origins(layer, nw_h, nw_w)
+    origins = tuple((gy * layer.stride, gx * layer.stride)
+                    for gy, gx in group_origins)
+    if len(origins) != bd.n_pw:
+        raise MappingError(
+            f"schedule has {len(origins)} positions but breakdown says "
+            f"{bd.n_pw} for {solution}")
+    return MappingPlan(solution=solution, window=window, tiles=tiles,
+                       origins=origins, group_origins=tuple(group_origins))

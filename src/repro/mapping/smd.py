@@ -1,0 +1,105 @@
+"""Block-diagonal sub-matrix-duplication (SMD) layout [6].
+
+SMD places ``d`` copies of the im2col weight matrix block-diagonally:
+copy ``i`` owns rows ``[i*K*K*IC, (i+1)*K*K*IC)`` and columns
+``[i*OC, (i+1)*OC)``.  Each computing cycle drives ``d`` *different*
+kernel windows — one per copy — so the window schedule walks the OFM in
+row-major groups of ``d`` (the final group shifts back and recomputes a
+few windows, like the parallel-window schedules).
+
+The layout cannot be expressed as a single :class:`~repro.mapping.plan.
+TilePlan` (rows of different copies take inputs from different window
+origins), so it gets its own plan type, executed by the same engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.layer import ConvLayer
+from ..core.types import MappingError
+from ..search.result import MappingSolution
+
+__all__ = ["SMDPlan", "build_smd_plan"]
+
+
+@dataclass(frozen=True)
+class SMDPlan:
+    """Executable block-diagonal SMD plan.
+
+    ``window_groups[g]`` lists the ``d`` window indices (flattened
+    row-major over the OFM) processed in cycle ``g``.
+    """
+
+    solution: MappingSolution
+    duplication: int
+    window_groups: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def layer(self) -> ConvLayer:
+        """The mapped layer."""
+        return self.solution.layer
+
+    @property
+    def total_cycles(self) -> int:
+        """Cycles executed — must equal the analytical count."""
+        return len(self.window_groups)
+
+    @property
+    def rows_used(self) -> int:
+        """Crossbar rows driven per cycle."""
+        return self.duplication * self.layer.im2col_rows
+
+    @property
+    def cols_used(self) -> int:
+        """Crossbar columns read per cycle."""
+        return self.duplication * self.layer.out_channels
+
+    def build_weights(self, kernel: np.ndarray
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+        """Block-diagonal weight matrix and used-cell mask.
+
+        ``kernel`` has shape ``(OC, IC, K_h, K_w)``; the result is
+        ``(d*K*K*IC, d*OC)`` with the im2col matrix repeated on the
+        diagonal.
+        """
+        layer = self.layer
+        flat = kernel.reshape(layer.out_channels, -1).T  # (K*K*IC, OC)
+        rows, cols = flat.shape
+        d = self.duplication
+        weights = np.zeros((d * rows, d * cols), dtype=kernel.dtype)
+        mask = np.zeros_like(weights, dtype=bool)
+        for copy in range(d):
+            weights[copy * rows:(copy + 1) * rows,
+                    copy * cols:(copy + 1) * cols] = flat
+            mask[copy * rows:(copy + 1) * rows,
+                 copy * cols:(copy + 1) * cols] = True
+        return weights, mask
+
+
+def build_smd_plan(solution: MappingSolution) -> SMDPlan:
+    """Materialise an SMD solution (duplication >= 1) into a plan."""
+    if solution.scheme != "smd":
+        raise MappingError(f"not an SMD solution: {solution}")
+    layer = solution.layer
+    d = solution.duplication
+    n_win = layer.num_windows
+    if d > n_win:
+        d = n_win  # more copies than windows: extra copies stay idle
+    groups: List[Tuple[int, ...]] = []
+    start = 0
+    while start < n_win:
+        if start + d > n_win:
+            start = n_win - d  # clamp: recompute overlap, stay in range
+        groups.append(tuple(range(start, start + d)))
+        start += d
+    plan = SMDPlan(solution=solution, duplication=d,
+                   window_groups=tuple(groups))
+    if plan.total_cycles != solution.cycles:
+        raise MappingError(
+            f"SMD schedule has {plan.total_cycles} cycles but the "
+            f"analytical count is {solution.cycles}")
+    return plan

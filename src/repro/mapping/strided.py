@@ -1,0 +1,93 @@
+"""Executable plans for the native strided model.
+
+Materialises a :class:`~repro.core.strided.StridedSolution` into the
+same :class:`~repro.mapping.plan.MappingPlan` structure the engine
+executes — the tile machinery already understands strides (column
+descriptors carry *window indices*; the kernel offset of window
+``(wy, wx)`` is ``(wy*s, wx*s)`` pixels), so only the schedule and the
+tile grid need strided-aware construction.
+
+This closes the loop on the stride extension: `search_strided` cycle
+counts are validated by actual execution against a strided reference
+convolution, exactly like the paper's stride-1 model.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.strided import StridedSolution
+from ..core.types import MappingError
+from ..core.utilization import tile_sizes
+from ..search.result import MappingSolution
+from .plan import MappingPlan, TilePlan, _col_desc, _pw_row_desc
+
+__all__ = ["build_strided_plan"]
+
+
+def _group_starts(total: int, group: int) -> List[int]:
+    starts = list(range(0, total - group + 1, group))
+    if not starts or starts[-1] + group < total:
+        starts.append(total - group)
+    return starts
+
+
+def build_strided_plan(solution: StridedSolution) -> MappingPlan:
+    """Build an executable plan from a strided search solution."""
+    layer = solution.layer
+    array = solution.array
+    window = solution.window
+    pixel = solution.pixel_window
+    bd = solution.breakdown
+
+    if pixel.h > layer.padded_ifm_h or pixel.w > layer.padded_ifm_w:
+        raise MappingError(
+            f"strided window spans {pixel}, beyond the padded IFM")
+
+    ic_tiles = tile_sizes(layer.in_channels, bd.ic_t)
+    oc_tiles = tile_sizes(layer.out_channels, bd.oc_t)
+    grid: List[Tuple[TilePlan, ...]] = []
+    c0 = 0
+    for ic_size in ic_tiles:
+        row_desc = _pw_row_desc(pixel, ic_size)
+        row: List[TilePlan] = []
+        o0 = 0
+        for oc_size in oc_tiles:
+            row.append(TilePlan(
+                row_desc=row_desc,
+                col_desc=_col_desc(window.nw_h, window.nw_w, oc_size),
+                channel_slice=(c0, c0 + ic_size),
+                oc_slice=(o0, o0 + oc_size),
+            ))
+            o0 += oc_size
+        grid.append(tuple(row))
+        c0 += ic_size
+
+    group_origins = [
+        (gy, gx)
+        for gy in _group_starts(layer.ofm_h, window.nw_h)
+        for gx in _group_starts(layer.ofm_w, window.nw_w)
+    ]
+    if len(group_origins) != bd.n_pw:
+        raise MappingError(
+            f"strided schedule has {len(group_origins)} positions, "
+            f"breakdown says {bd.n_pw}")
+    stride = layer.stride
+    origins = tuple((gy * stride, gx * stride) for gy, gx in group_origins)
+
+    # A solution wrapper so the engine's bookkeeping has a layer/array.
+    wrapper = MappingSolution(
+        scheme="vw-sdk",
+        layer=layer,
+        array=array,
+        window=pixel,
+        breakdown=bd,
+        duplication=window.windows_inside,
+    )
+    plan = MappingPlan(solution=wrapper, window=pixel, tiles=tuple(grid),
+                       origins=origins, group_origins=tuple(group_origins))
+    if plan.total_cycles != solution.cycles:
+        raise MappingError(
+            f"strided plan executes {plan.total_cycles} cycles, solution "
+            f"says {solution.cycles}")
+    return plan

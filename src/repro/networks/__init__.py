@@ -1,0 +1,36 @@
+"""CNN model zoo and network-level mapping analysis."""
+
+from .analysis import NetworkMappingReport, compare_schemes, map_network
+from .io import load_network, network_from_dict, network_to_dict, save_network
+from .layerset import Network
+from .zoo import (
+    NETWORKS,
+    alexnet,
+    get_network,
+    resnet18,
+    resnet18_full,
+    vgg11,
+    vgg13,
+    vgg16,
+    vgg19,
+)
+
+__all__ = [
+    "Network",
+    "NetworkMappingReport",
+    "map_network",
+    "compare_schemes",
+    "load_network",
+    "save_network",
+    "network_from_dict",
+    "network_to_dict",
+    "NETWORKS",
+    "get_network",
+    "vgg11",
+    "vgg13",
+    "vgg16",
+    "vgg19",
+    "alexnet",
+    "resnet18",
+    "resnet18_full",
+]

@@ -1,0 +1,118 @@
+"""Network-level mapping analysis: totals, speedups, utilizations.
+
+This is the layer between the per-layer searches and the paper's
+evaluation artifacts: Table I's totals, Fig. 8's speedups and Fig. 9's
+utilization bars all come from :class:`NetworkMappingReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.array import PIMArray
+from ..core.cost import CostParams, CostReport, DEFAULT_COST_PARAMS, cost_report
+from ..core.utilization import UtilizationReport, utilization_report
+from ..search import MappingSolution, solve
+from .layerset import Network
+
+__all__ = ["NetworkMappingReport", "map_network", "compare_schemes"]
+
+
+@dataclass(frozen=True)
+class NetworkMappingReport:
+    """All per-layer solutions of one scheme over one network."""
+
+    network: Network
+    array: PIMArray
+    scheme: str
+    solutions: Tuple[MappingSolution, ...]
+
+    @property
+    def total_cycles(self) -> int:
+        """Sum of per-layer cycles, each distinct layer counted once.
+
+        This is the paper's Table I convention (ResNet-18's total of
+        4294 counts each of the five distinct shapes once).
+        """
+        return sum(sol.cycles for sol in self.solutions)
+
+    @property
+    def weighted_cycles(self) -> int:
+        """Sum of per-layer cycles weighted by ``layer.repeats``."""
+        return sum(sol.cycles * sol.layer.repeats for sol in self.solutions)
+
+    def speedup_over(self, other: "NetworkMappingReport") -> float:
+        """Total-cycle speedup of this report versus *other*."""
+        if other.network.name != self.network.name:
+            raise ValueError("speedup comparison requires the same network")
+        return other.total_cycles / self.total_cycles
+
+    def layer_speedups_over(self, other: "NetworkMappingReport"
+                            ) -> List[float]:
+        """Per-layer speedups versus *other* (Fig. 8(a) series)."""
+        return [theirs.cycles / ours.cycles
+                for ours, theirs in zip(self.solutions, other.solutions)]
+
+    def utilizations(self) -> List[UtilizationReport]:
+        """Per-layer utilization reports (Fig. 9 series)."""
+        return [utilization_report(sol) for sol in self.solutions]
+
+    def costs(self, params: CostParams = DEFAULT_COST_PARAMS
+              ) -> List[CostReport]:
+        """Per-layer cost reports."""
+        return [cost_report(sol, params) for sol in self.solutions]
+
+    def total_energy_nj(self, params: CostParams = DEFAULT_COST_PARAMS
+                        ) -> float:
+        """Network compute energy (distinct layers, like total_cycles)."""
+        return sum(c.total_energy_nj for c in self.costs(params))
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Tabular per-layer rows for reporting/export."""
+        out: List[Dict[str, object]] = []
+        for index, sol in enumerate(self.solutions, start=1):
+            out.append({
+                "layer": index,
+                "name": sol.layer.name or f"conv{index}",
+                "image": f"{sol.layer.ifm_h}x{sol.layer.ifm_w}",
+                "kernel": sol.layer.shape_str,
+                "mapping": sol.table_cell,
+                "window": str(sol.window),
+                "ic_t": sol.breakdown.ic_t,
+                "oc_t": sol.breakdown.oc_t,
+                "n_pw": sol.breakdown.n_pw,
+                "ar": sol.breakdown.ar,
+                "ac": sol.breakdown.ac,
+                "cycles": sol.cycles,
+            })
+        return out
+
+
+def map_network(network: Network, array: PIMArray,
+                scheme: str) -> NetworkMappingReport:
+    """Map every layer of *network* onto *array* with *scheme*.
+
+    >>> from repro.core import PIMArray
+    >>> from repro.networks import resnet18
+    >>> map_network(resnet18(), PIMArray.square(512), "vw-sdk").total_cycles
+    4294
+    """
+    solutions = tuple(solve(layer, array, scheme) for layer in network)
+    return NetworkMappingReport(network=network, array=array,
+                                scheme=scheme, solutions=solutions)
+
+
+def compare_schemes(network: Network, array: PIMArray,
+                    schemes: Sequence[str] = ("im2col", "sdk", "vw-sdk")
+                    ) -> Dict[str, NetworkMappingReport]:
+    """Map *network* with several schemes; keyed by scheme name.
+
+    >>> from repro.core import PIMArray
+    >>> from repro.networks import resnet18
+    >>> reports = compare_schemes(resnet18(), PIMArray.square(512))
+    >>> round(reports["vw-sdk"].speedup_over(reports["im2col"]), 2)
+    4.67
+    """
+    return {scheme: map_network(network, array, scheme)
+            for scheme in schemes}

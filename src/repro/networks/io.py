@@ -1,0 +1,111 @@
+"""Load and save network descriptions as JSON.
+
+Lets users drive the mapper on their own models without writing Python:
+
+```json
+{
+  "name": "MyNet",
+  "layers": [
+    {"ifm": 96, "kernel": 3, "ic": 3, "oc": 32, "stride": 2,
+     "padding": 1, "name": "stem"},
+    {"ifm": 48, "kernel": 3, "ic": 32, "oc": 64, "padding": 1,
+     "repeats": 2}
+  ]
+}
+```
+
+``ifm``/``kernel`` accept a scalar (square) or a ``[h, w]`` pair.
+The CLI consumes these files via ``vwsdk network --file my.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from ..core.layer import ConvLayer
+from ..core.types import ConfigurationError
+from .layerset import Network
+
+__all__ = ["network_from_dict", "network_to_dict", "load_network",
+           "save_network"]
+
+PathLike = Union[str, Path]
+
+
+def _pair(value, what: str) -> tuple:
+    if isinstance(value, (list, tuple)):
+        if len(value) != 2:
+            raise ConfigurationError(f"{what} must be a scalar or [h, w]")
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def network_from_dict(spec: Dict) -> Network:
+    """Build a :class:`Network` from a parsed JSON dict.
+
+    >>> net = network_from_dict({"name": "t", "layers": [
+    ...     {"ifm": 8, "kernel": 3, "ic": 2, "oc": 4}]})
+    >>> net[0].shape_str
+    '3x3x2x4'
+    """
+    if "layers" not in spec or not spec["layers"]:
+        raise ConfigurationError("network spec needs a non-empty 'layers'")
+    layers: List[ConvLayer] = []
+    for index, entry in enumerate(spec["layers"], start=1):
+        missing = {"ifm", "kernel", "ic", "oc"} - set(entry)
+        if missing:
+            raise ConfigurationError(
+                f"layer {index} missing keys: {sorted(missing)}")
+        ifm_h, ifm_w = _pair(entry["ifm"], "ifm")
+        k_h, k_w = _pair(entry["kernel"], "kernel")
+        layers.append(ConvLayer(
+            ifm_h=ifm_h, ifm_w=ifm_w, kernel_h=k_h, kernel_w=k_w,
+            in_channels=int(entry["ic"]), out_channels=int(entry["oc"]),
+            stride=int(entry.get("stride", 1)),
+            padding=int(entry.get("padding", 0)),
+            repeats=int(entry.get("repeats", 1)),
+            name=str(entry.get("name", ""))))
+    return Network.from_layers(str(spec.get("name", "custom")), layers)
+
+
+def network_to_dict(network: Network) -> Dict:
+    """Serialise a network back to the JSON-dict format."""
+    layers = []
+    for layer in network:
+        entry: Dict = {
+            "ifm": [layer.ifm_h, layer.ifm_w],
+            "kernel": [layer.kernel_h, layer.kernel_w],
+            "ic": layer.in_channels,
+            "oc": layer.out_channels,
+        }
+        if layer.stride != 1:
+            entry["stride"] = layer.stride
+        if layer.padding != 0:
+            entry["padding"] = layer.padding
+        if layer.repeats != 1:
+            entry["repeats"] = layer.repeats
+        if layer.name:
+            entry["name"] = layer.name
+        layers.append(entry)
+    return {"name": network.name, "layers": layers}
+
+
+def load_network(path: PathLike) -> Network:
+    """Load a network JSON file."""
+    text = Path(path).read_text()
+    try:
+        spec = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(f"invalid network JSON {path}: {error}"
+                                 ) from None
+    return network_from_dict(spec)
+
+
+def save_network(network: Network, path: PathLike) -> Path:
+    """Write a network to a JSON file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(network_to_dict(network), indent=2) + "\n")
+    return path

@@ -1,0 +1,92 @@
+"""Network descriptions: an ordered, named collection of conv layers.
+
+The paper evaluates *distinct* convolutional shapes — Table I lists ten
+rows for VGG-13 and five for ResNet-18, counting each shape once — so a
+:class:`Network` holds the distinct layers in order plus optional
+``repeats`` metadata for whole-network weighting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from ..core.layer import ConvLayer
+from ..core.types import ConfigurationError
+
+__all__ = ["Network"]
+
+
+@dataclass(frozen=True)
+class Network:
+    """A CNN described by its convolutional layers.
+
+    >>> from repro.networks import vgg13
+    >>> net = vgg13()
+    >>> len(net), net.name
+    (10, 'VGG-13')
+    """
+
+    name: str
+    layers: Tuple[ConvLayer, ...]
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ConfigurationError(f"network {self.name!r} has no layers")
+        object.__setattr__(self, "layers", tuple(self.layers))
+
+    @classmethod
+    def from_layers(cls, name: str,
+                    layers: Sequence[ConvLayer]) -> "Network":
+        """Build a network, auto-naming anonymous layers ``conv{i}``."""
+        named: List[ConvLayer] = []
+        for index, layer in enumerate(layers, start=1):
+            named.append(layer if layer.name else
+                         layer.with_name(f"conv{index}"))
+        return cls(name=name, layers=tuple(named))
+
+    def __len__(self) -> int:  # noqa: D105 - obvious
+        return len(self.layers)
+
+    def __iter__(self) -> Iterator[ConvLayer]:  # noqa: D105 - obvious
+        return iter(self.layers)
+
+    def __getitem__(self, index: int) -> ConvLayer:  # noqa: D105
+        return self.layers[index]
+
+    @property
+    def total_weights(self) -> int:
+        """Weight elements across distinct layers (no repeat weighting)."""
+        return sum(layer.weight_count for layer in self.layers)
+
+    @property
+    def total_macs(self) -> int:
+        """MACs across distinct layers (no repeat weighting)."""
+        return sum(layer.macs for layer in self.layers)
+
+    def folded(self) -> "Network":
+        """Network with every layer folded to the paper's stride-1 view."""
+        return Network(name=self.name,
+                       layers=tuple(layer.folded() for layer in self.layers))
+
+    def scaled_input(self, factor: int) -> "Network":
+        """Network with all IFM sizes multiplied by *factor* (DSE helper)."""
+        if factor < 1:
+            raise ConfigurationError("factor must be >= 1")
+        scaled = []
+        for layer in self.layers:
+            scaled.append(ConvLayer(
+                ifm_h=layer.ifm_h * factor, ifm_w=layer.ifm_w * factor,
+                kernel_h=layer.kernel_h, kernel_w=layer.kernel_w,
+                in_channels=layer.in_channels,
+                out_channels=layer.out_channels,
+                stride=layer.stride, padding=layer.padding,
+                repeats=layer.repeats, name=layer.name))
+        return Network(name=f"{self.name}@x{factor}", layers=tuple(scaled))
+
+    def describe(self) -> str:
+        """Multi-line summary of the network."""
+        lines = [f"{self.name}: {len(self.layers)} conv layers, "
+                 f"{self.total_weights:,} weights, {self.total_macs:,} MACs"]
+        lines.extend(f"  {layer.describe()}" for layer in self.layers)
+        return "\n".join(lines)

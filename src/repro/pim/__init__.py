@@ -1,0 +1,62 @@
+"""Functional PIM crossbar simulator.
+
+This subpackage is the substrate the paper assumes but does not ship: a
+crossbar that can be programmed with any mapping layout and executed
+cycle by cycle, with optional DAC/ADC quantisation and conductance
+noise.  The engine's contract — OFM equals direct convolution, executed
+cycles equal the analytical count — is what makes the analytical
+reproduction trustworthy.
+"""
+
+from .adc import IdealADC, LinearADC
+from .bitserial import bit_serial_cycles, bit_serial_mvm, decompose_bits
+from .bitslice import (
+    recombine_outputs,
+    slice_weights,
+    sliced_column_factor,
+    sliced_mvm,
+)
+from .crossbar import Crossbar
+from .dac import IdealDAC, UniformDAC
+from .differential import DifferentialCrossbar, effective_array
+from .engine import ExecutionResult, PIMEngine
+from .grouped_exec import (
+    GroupedExecution,
+    grouped_conv2d_reference,
+    run_grouped,
+)
+from .noise import ComposedNoise, LognormalNoise, NoNoise, StuckCells, make_noise
+from .reference import conv2d_naive, conv2d_reference, pad_ifm
+from .trace import CycleRecord, ExecutionTrace
+
+__all__ = [
+    "Crossbar",
+    "PIMEngine",
+    "ExecutionResult",
+    "IdealADC",
+    "LinearADC",
+    "IdealDAC",
+    "UniformDAC",
+    "NoNoise",
+    "LognormalNoise",
+    "StuckCells",
+    "ComposedNoise",
+    "make_noise",
+    "conv2d_reference",
+    "conv2d_naive",
+    "pad_ifm",
+    "bit_serial_mvm",
+    "bit_serial_cycles",
+    "decompose_bits",
+    "slice_weights",
+    "recombine_outputs",
+    "sliced_mvm",
+    "sliced_column_factor",
+    "DifferentialCrossbar",
+    "effective_array",
+    "GroupedExecution",
+    "grouped_conv2d_reference",
+    "run_grouped",
+    "CycleRecord",
+    "ExecutionTrace",
+]

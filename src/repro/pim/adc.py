@@ -1,0 +1,83 @@
+"""Analog-to-digital conversion models for the crossbar column readout.
+
+Every column's accumulated current is digitised once per computing
+cycle; the paper (citing [3]) attributes ~98% of PIM energy to these
+conversions, which is why cycle count is the right figure of merit.
+
+:class:`IdealADC` is pass-through; :class:`LinearADC` models a uniform
+quantiser with saturation and counts how often it clips, which examples
+use to study the accuracy impact of partial-sum widths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.types import ConfigurationError
+
+__all__ = ["IdealADC", "LinearADC"]
+
+
+@dataclass(frozen=True)
+class IdealADC:
+    """Infinite-resolution readout (pass-through)."""
+
+    def convert(self, values: np.ndarray) -> np.ndarray:
+        """Return *values* unchanged."""
+        return values
+
+    @property
+    def saturation_events(self) -> int:
+        """Ideal ADCs never clip."""
+        return 0
+
+
+@dataclass
+class LinearADC:
+    """Uniform ``bits``-wide quantiser over ``[-full_scale, full_scale]``.
+
+    Mutable on purpose: it counts saturation events across an engine
+    run.  Call :meth:`reset` between runs when reusing the instance.
+    """
+
+    bits: int
+    full_scale: float = 64.0
+    _saturations: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ConfigurationError(f"ADC bits must be >= 1, got {self.bits}")
+        if self.full_scale <= 0:
+            raise ConfigurationError("ADC full_scale must be positive")
+
+    @property
+    def levels(self) -> int:
+        """Number of representable codes."""
+        return 2 ** self.bits
+
+    @property
+    def step(self) -> float:
+        """Quantisation step size."""
+        return 2.0 * self.full_scale / (self.levels - 1)
+
+    @property
+    def saturation_events(self) -> int:
+        """Samples clipped since construction / last reset."""
+        return self._saturations
+
+    def reset(self) -> None:
+        """Zero the saturation counter."""
+        self._saturations = 0
+
+    def convert(self, values: np.ndarray) -> np.ndarray:
+        """Clip, count saturations, and quantise *values*.
+
+        Codes sit at ``-full_scale + i*step`` so outputs never exceed
+        the full-scale range.
+        """
+        clipped = np.clip(values, -self.full_scale, self.full_scale)
+        self._saturations += int((clipped != values).sum())
+        index = np.round((clipped + self.full_scale) / self.step)
+        return index * self.step - self.full_scale

@@ -1,0 +1,109 @@
+"""The crossbar itself: programmable cells plus analog MVM.
+
+One :class:`Crossbar` instance models a physical ``rows x cols`` array.
+``program()`` writes a (possibly smaller) weight matrix into the
+top-left corner, applying the configured noise model once — as in
+hardware, programming error is frozen until reprogramming.  ``compute``
+performs the analog matrix-vector multiplication for a batch of input
+vectors, through the DAC and ADC models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..core.array import PIMArray
+from ..core.types import ConfigurationError, MappingError
+from .adc import IdealADC
+from .dac import IdealDAC
+from .noise import NoNoise
+
+__all__ = ["Crossbar"]
+
+
+@dataclass
+class Crossbar:
+    """A programmable PIM crossbar.
+
+    Parameters
+    ----------
+    array:
+        Physical geometry.
+    dac, adc, noise:
+        Conversion / non-ideality models; all default to ideal.
+    seed:
+        Seed for the noise RNG (reproducible experiments).
+    """
+
+    array: PIMArray
+    dac: object = field(default_factory=IdealDAC)
+    adc: object = field(default_factory=IdealADC)
+    noise: object = field(default_factory=NoNoise)
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+        self._weights: Optional[np.ndarray] = None
+        self._active_rows = 0
+        self._active_cols = 0
+        self.program_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def programmed(self) -> bool:
+        """Whether the crossbar currently holds weights."""
+        return self._weights is not None
+
+    @property
+    def active_shape(self) -> tuple:
+        """(rows, cols) of the currently programmed region."""
+        return (self._active_rows, self._active_cols)
+
+    def program(self, weights: np.ndarray,
+                mask: Optional[np.ndarray] = None) -> None:
+        """Write *weights* into the array (top-left aligned).
+
+        ``mask`` marks which cells are mapped (used by noise models so
+        idle cells stay exactly zero); defaults to ``weights != 0``
+        which is correct for structurally-dense layouts but callers
+        with zero-valued weights should pass the real mask.
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 2:
+            raise ConfigurationError(
+                f"weights must be 2-D, got shape {weights.shape}")
+        rows, cols = weights.shape
+        if rows > self.array.rows or cols > self.array.cols:
+            raise MappingError(
+                f"weights {rows}x{cols} exceed array {self.array}")
+        if mask is None:
+            mask = weights != 0
+        elif mask.shape != weights.shape:
+            raise ConfigurationError(
+                f"mask shape {mask.shape} != weights shape {weights.shape}")
+        self._weights = self.noise.apply(weights, mask, self._rng)
+        self._active_rows, self._active_cols = rows, cols
+        self.program_count += 1
+
+    def compute(self, inputs: np.ndarray) -> np.ndarray:
+        """Analog MVM for a batch of input vectors.
+
+        ``inputs`` is ``(batch, active_rows)`` (or a single vector);
+        returns ``(batch, active_cols)``.  Each batch entry models one
+        computing cycle on this programming.
+        """
+        if self._weights is None:
+            raise MappingError("crossbar is not programmed")
+        single = inputs.ndim == 1
+        batch = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+        if batch.shape[1] != self._active_rows:
+            raise ConfigurationError(
+                f"input length {batch.shape[1]} != active rows "
+                f"{self._active_rows}")
+        driven = self.dac.convert(batch)
+        currents = driven @ self._weights
+        out = self.adc.convert(currents)
+        return out[0] if single else out

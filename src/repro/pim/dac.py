@@ -1,0 +1,65 @@
+"""Digital-to-analog conversion models for the crossbar row drivers.
+
+The engine applies the DAC to every input vector before the analog MVM.
+:class:`IdealDAC` passes values through (the paper's implicit model);
+:class:`UniformDAC` quantises inputs to ``2^bits`` levels over a fixed
+full-scale range, modelling finite driver resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.types import ConfigurationError
+
+__all__ = ["IdealDAC", "UniformDAC"]
+
+
+@dataclass(frozen=True)
+class IdealDAC:
+    """Infinite-resolution input driver (pass-through)."""
+
+    def convert(self, values: np.ndarray) -> np.ndarray:
+        """Return *values* unchanged."""
+        return values
+
+
+@dataclass(frozen=True)
+class UniformDAC:
+    """Uniform mid-tread quantiser with ``2^bits`` levels.
+
+    Values are clipped to ``[-full_scale, full_scale]`` and rounded to
+    the nearest level.  ``bits == 1`` degenerates to a sign driver.
+    """
+
+    bits: int
+    full_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ConfigurationError(f"DAC bits must be >= 1, got {self.bits}")
+        if self.full_scale <= 0:
+            raise ConfigurationError("DAC full_scale must be positive")
+
+    @property
+    def levels(self) -> int:
+        """Number of representable levels."""
+        return 2 ** self.bits
+
+    @property
+    def step(self) -> float:
+        """Quantisation step size."""
+        return 2.0 * self.full_scale / (self.levels - 1)
+
+    def convert(self, values: np.ndarray) -> np.ndarray:
+        """Clip and quantise *values* to one of the ``2^bits`` levels.
+
+        Level ``i`` sits at ``-full_scale + i*step``; quantisation picks
+        the nearest level index, so outputs never exceed full scale
+        (``bits == 1`` yields a ±full_scale sign driver).
+        """
+        clipped = np.clip(values, -self.full_scale, self.full_scale)
+        index = np.round((clipped + self.full_scale) / self.step)
+        return index * self.step - self.full_scale

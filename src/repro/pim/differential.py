@@ -1,0 +1,115 @@
+"""Differential-pair weight encoding — signed weights on real devices.
+
+RRAM conductances are physically non-negative; the standard remedy maps
+each signed weight onto a *pair* of columns, ``W = G+ - G-``, with the
+two column currents subtracted after readout.  That halves the usable
+column count of an array, so mapping searches should run against
+:meth:`effective_array` while execution happens on the physical one.
+
+:class:`DifferentialCrossbar` exposes the same ``program``/``compute``
+interface as :class:`~repro.pim.crossbar.Crossbar` — the engine can run
+any mapping plan on it unchanged — while guaranteeing that every stored
+conductance is non-negative (asserted, and property-tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..core.array import PIMArray
+from ..core.types import ConfigurationError, MappingError
+from .adc import IdealADC
+from .dac import IdealDAC
+from .noise import NoNoise
+
+__all__ = ["DifferentialCrossbar", "effective_array"]
+
+
+def effective_array(physical: PIMArray) -> PIMArray:
+    """The array a mapping search should target under column pairing.
+
+    >>> effective_array(PIMArray(512, 512))
+    PIMArray(rows=512, cols=256)
+    """
+    if physical.cols < 2:
+        raise ConfigurationError(
+            f"differential encoding needs >= 2 columns, array has "
+            f"{physical.cols}")
+    return PIMArray(physical.rows, physical.cols // 2)
+
+
+@dataclass
+class DifferentialCrossbar:
+    """A crossbar storing signed weights as non-negative column pairs."""
+
+    array: PIMArray
+    dac: object = field(default_factory=IdealDAC)
+    adc: object = field(default_factory=IdealADC)
+    noise: object = field(default_factory=NoNoise)
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+        self._positive: Optional[np.ndarray] = None
+        self._negative: Optional[np.ndarray] = None
+        self.program_count = 0
+
+    @property
+    def programmed(self) -> bool:
+        """Whether weights are loaded."""
+        return self._positive is not None
+
+    @property
+    def conductances(self) -> np.ndarray:
+        """The physical cell matrix (column-interleaved G+, G-)."""
+        if self._positive is None:
+            raise MappingError("crossbar is not programmed")
+        rows, cols = self._positive.shape
+        phys = np.zeros((rows, 2 * cols))
+        phys[:, 0::2] = self._positive
+        phys[:, 1::2] = self._negative
+        return phys
+
+    def program(self, weights: np.ndarray,
+                mask: Optional[np.ndarray] = None) -> None:
+        """Split signed *weights* into non-negative G+ / G- planes."""
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 2:
+            raise ConfigurationError(
+                f"weights must be 2-D, got shape {weights.shape}")
+        rows, cols = weights.shape
+        if rows > self.array.rows or 2 * cols > self.array.cols:
+            raise MappingError(
+                f"signed weights {rows}x{cols} need {2 * cols} physical "
+                f"columns; array is {self.array}")
+        if mask is None:
+            mask = weights != 0
+        positive = np.where(weights > 0, weights, 0.0)
+        negative = np.where(weights < 0, -weights, 0.0)
+        self._positive = self.noise.apply(positive, mask & (weights > 0),
+                                          self._rng)
+        self._negative = self.noise.apply(negative, mask & (weights < 0),
+                                          self._rng)
+        assert (self._positive >= 0).all() and (self._negative >= 0).all()
+        self.program_count += 1
+
+    def compute(self, inputs: np.ndarray) -> np.ndarray:
+        """Differential MVM: (x @ G+) - (x @ G-), through DAC/ADC."""
+        if self._positive is None:
+            raise MappingError("crossbar is not programmed")
+        single = inputs.ndim == 1
+        batch = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+        if batch.shape[1] != self._positive.shape[0]:
+            raise ConfigurationError(
+                f"input length {batch.shape[1]} != active rows "
+                f"{self._positive.shape[0]}")
+        driven = self.dac.convert(batch)
+        # Each column pair is digitised separately, then subtracted —
+        # the common "two ADC samples per output" scheme.
+        pos = self.adc.convert(driven @ self._positive)
+        neg = self.adc.convert(driven @ self._negative)
+        out = pos - neg
+        return out[0] if single else out

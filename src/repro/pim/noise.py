@@ -1,0 +1,104 @@
+"""Device non-ideality models applied at weight-programming time.
+
+RRAM conductances deviate from their programmed targets; the standard
+first-order models are multiplicative lognormal variation and stuck
+cells.  The crossbar applies a noise model once per ``program()`` call,
+which matches physical behaviour: the error is frozen until the cell is
+reprogrammed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.types import ConfigurationError
+
+__all__ = ["NoNoise", "LognormalNoise", "StuckCells", "ComposedNoise"]
+
+
+@dataclass(frozen=True)
+class NoNoise:
+    """Ideal cells (pass-through)."""
+
+    def apply(self, weights: np.ndarray, mask: np.ndarray,
+              rng: np.random.Generator) -> np.ndarray:
+        """Return *weights* unchanged."""
+        return weights
+
+
+@dataclass(frozen=True)
+class LognormalNoise:
+    """Multiplicative lognormal conductance variation.
+
+    Each mapped cell's weight is scaled by ``exp(N(0, sigma))`` — the
+    common model for RRAM programming error; ``sigma`` around 0.05-0.2
+    spans reported device corners.
+    """
+
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ConfigurationError(f"sigma must be >= 0, got {self.sigma}")
+
+    def apply(self, weights: np.ndarray, mask: np.ndarray,
+              rng: np.random.Generator) -> np.ndarray:
+        """Scale each mapped cell by an independent lognormal factor."""
+        if self.sigma == 0:
+            return weights
+        factors = np.exp(rng.normal(0.0, self.sigma, size=weights.shape))
+        noisy = weights * np.where(mask, factors, 1.0)
+        return noisy
+
+
+@dataclass(frozen=True)
+class StuckCells:
+    """Stuck-at-off faults: a fraction of mapped cells read as zero."""
+
+    probability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError(
+                f"probability must be in [0, 1], got {self.probability}")
+
+    def apply(self, weights: np.ndarray, mask: np.ndarray,
+              rng: np.random.Generator) -> np.ndarray:
+        """Zero each mapped cell independently with ``probability``."""
+        if self.probability == 0:
+            return weights
+        stuck = rng.random(weights.shape) < self.probability
+        return np.where(mask & stuck, 0.0, weights)
+
+
+@dataclass(frozen=True)
+class ComposedNoise:
+    """Apply several noise models in sequence."""
+
+    models: tuple
+
+    def apply(self, weights: np.ndarray, mask: np.ndarray,
+              rng: np.random.Generator) -> np.ndarray:
+        """Fold all component models over *weights*."""
+        out = weights
+        for model in self.models:
+            out = model.apply(out, mask, rng)
+        return out
+
+
+def make_noise(sigma: float = 0.0, stuck: float = 0.0,
+               ) -> object:
+    """Convenience constructor for the common model combinations."""
+    models = []
+    if sigma > 0:
+        models.append(LognormalNoise(sigma))
+    if stuck > 0:
+        models.append(StuckCells(stuck))
+    if not models:
+        return NoNoise()
+    if len(models) == 1:
+        return models[0]
+    return ComposedNoise(tuple(models))

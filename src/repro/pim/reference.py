@@ -1,0 +1,84 @@
+"""Reference convolution used to verify the crossbar engine.
+
+A direct (dataflow-free) 2-D convolution: whatever a mapping plan
+computes on the simulated crossbar must equal this, element for element.
+Two implementations are provided — a vectorised one used everywhere and
+a naive quadruple loop kept as an executable specification (tests assert
+they agree).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.types import ConfigurationError
+
+__all__ = ["conv2d_reference", "conv2d_naive", "pad_ifm"]
+
+
+def pad_ifm(ifm: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad an ``(IC, H, W)`` feature map on all four sides."""
+    if padding == 0:
+        return ifm
+    return np.pad(ifm, ((0, 0), (padding, padding), (padding, padding)))
+
+
+def _check_shapes(ifm: np.ndarray, kernel: np.ndarray) -> None:
+    if ifm.ndim != 3:
+        raise ConfigurationError(f"ifm must be (IC, H, W), got {ifm.shape}")
+    if kernel.ndim != 4:
+        raise ConfigurationError(
+            f"kernel must be (OC, IC, K_h, K_w), got {kernel.shape}")
+    if ifm.shape[0] != kernel.shape[1]:
+        raise ConfigurationError(
+            f"channel mismatch: ifm has {ifm.shape[0]}, kernel expects "
+            f"{kernel.shape[1]}")
+
+
+def conv2d_reference(ifm: np.ndarray, kernel: np.ndarray, *,
+                     stride: int = 1, padding: int = 0) -> np.ndarray:
+    """Direct 2-D convolution (cross-correlation, CNN convention).
+
+    Parameters
+    ----------
+    ifm:
+        Input feature map, shape ``(IC, H, W)``.
+    kernel:
+        Weights, shape ``(OC, IC, K_h, K_w)``.
+
+    Returns the OFM with shape ``(OC, OH, OW)``.
+
+    >>> ifm = np.arange(16, dtype=float).reshape(1, 4, 4)
+    >>> k = np.ones((1, 1, 2, 2))
+    >>> float(conv2d_reference(ifm, k)[0, 0, 0])      # 0+1+4+5
+    10.0
+    """
+    _check_shapes(ifm, kernel)
+    padded = pad_ifm(ifm, padding)
+    oc, ic, k_h, k_w = kernel.shape
+    out_h = (padded.shape[1] - k_h) // stride + 1
+    out_w = (padded.shape[2] - k_w) // stride + 1
+    windows = np.lib.stride_tricks.sliding_window_view(
+        padded, (ic, k_h, k_w))[0]
+    windows = windows[::stride, ::stride]            # (OH, OW, IC, Kh, Kw)
+    return np.einsum("hwikl,oikl->ohw", windows, kernel,
+                     optimize=True).astype(np.result_type(ifm, kernel))
+
+
+def conv2d_naive(ifm: np.ndarray, kernel: np.ndarray, *,
+                 stride: int = 1, padding: int = 0) -> np.ndarray:
+    """Quadruple-loop convolution — the executable specification."""
+    _check_shapes(ifm, kernel)
+    padded = pad_ifm(ifm, padding)
+    oc, ic, k_h, k_w = kernel.shape
+    out_h = (padded.shape[1] - k_h) // stride + 1
+    out_w = (padded.shape[2] - k_w) // stride + 1
+    ofm = np.zeros((oc, out_h, out_w),
+                   dtype=np.result_type(ifm, kernel))
+    for o in range(oc):
+        for y in range(out_h):
+            for x in range(out_w):
+                patch = padded[:, y * stride:y * stride + k_h,
+                               x * stride:x * stride + k_w]
+                ofm[o, y, x] = float((patch * kernel[o]).sum())
+    return ofm

@@ -1,0 +1,51 @@
+"""Execution traces: per-tile activity records from the engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["CycleRecord", "ExecutionTrace"]
+
+
+@dataclass(frozen=True)
+class CycleRecord:
+    """Activity of one tile programming across its window positions."""
+
+    ar: int
+    ac: int
+    positions: int
+    rows: int
+    cols: int
+    cells: int
+
+    @property
+    def cycles(self) -> int:
+        """Computing cycles contributed by this record."""
+        return self.positions
+
+
+@dataclass(frozen=True)
+class ExecutionTrace:
+    """Ordered record list with summary helpers."""
+
+    records: Tuple[CycleRecord, ...]
+
+    @property
+    def total_cycles(self) -> int:
+        """Total computing cycles across all records."""
+        return sum(r.positions for r in self.records)
+
+    def utilization_series(self, total_cells: int) -> Tuple[float, ...]:
+        """Per-record used-cell fraction (matches eq. 9 tile grid)."""
+        return tuple(r.cells / total_cells for r in self.records)
+
+    def summary(self) -> Dict[str, int]:
+        """Aggregate counters for quick inspection."""
+        return {
+            "records": len(self.records),
+            "cycles": self.total_cycles,
+            "rows_driven": sum(r.positions * r.rows for r in self.records),
+            "cols_read": sum(r.positions * r.cols for r in self.records),
+            "active_cells": sum(r.positions * r.cells for r in self.records),
+        }

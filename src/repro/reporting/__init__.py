@@ -1,0 +1,16 @@
+"""Report rendering: ASCII tables, figure series, CSV/JSON export."""
+
+from .export import series_to_rows, write_csv, write_json
+from .series import Series, format_series_table, sparkline
+from .tables import format_markdown_table, format_table
+
+__all__ = [
+    "Series",
+    "format_series_table",
+    "sparkline",
+    "format_table",
+    "format_markdown_table",
+    "write_csv",
+    "write_json",
+    "series_to_rows",
+]

@@ -1,0 +1,54 @@
+"""CSV / JSON export of experiment rows and figure series."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Mapping, Sequence, Union
+
+from .series import Series
+
+__all__ = ["write_csv", "write_json", "series_to_rows"]
+
+PathLike = Union[str, Path]
+
+
+def write_csv(path: PathLike, rows: Sequence[Mapping[str, object]]) -> Path:
+    """Write rows (list of dicts) to a CSV file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if not rows:
+        path.write_text("")
+        return path
+    columns = list(rows[0].keys())
+    for row in rows[1:]:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def write_json(path: PathLike, payload: object) -> Path:
+    """Write any JSON-serialisable payload; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def series_to_rows(series: Sequence[Series]) -> list:
+    """Convert aligned series to row dicts (x + one column per series)."""
+    if not series:
+        return []
+    rows = []
+    for i, x in enumerate(series[0].x):
+        row = {"x": x}
+        for s in series:
+            row[s.name] = s.y[i]
+        rows.append(row)
+    return rows

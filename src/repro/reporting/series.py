@@ -1,0 +1,70 @@
+"""Figure data series: named (x, y) sequences with text rendering.
+
+The paper's figures become :class:`Series` collections; benches print
+them so the "same rows/series the paper reports" are regenerated even
+without a plotting stack (matplotlib is not a dependency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+__all__ = ["Series", "format_series_table", "sparkline"]
+
+_SPARK_GLYPHS = " .:-=+*#%@"
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named data series of a figure."""
+
+    name: str
+    x: Tuple[object, ...]
+    y: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"series {self.name!r}: {len(self.x)} x values vs "
+                f"{len(self.y)} y values")
+
+    def __len__(self) -> int:  # noqa: D105 - obvious
+        return len(self.x)
+
+
+def format_series_table(series: Sequence[Series], x_label: str = "x") -> str:
+    """Render aligned columns: one x column, one column per series."""
+    if not series:
+        return ""
+    xs = series[0].x
+    for s in series[1:]:
+        if s.x != xs:
+            raise ValueError(f"series {s.name!r} has different x values")
+    header = [x_label] + [s.name for s in series]
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([str(x)] + [f"{s.y[i]:.3f}".rstrip("0").rstrip(".")
+                                for s in series])
+    widths = [max(len(header[c]), *(len(r[c]) for r in rows))
+              for c in range(len(header))]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths)),
+             "  ".join("-" * w for w in widths)]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(line.rstrip() for line in lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Tiny ASCII intensity strip for eyeballing a series shape."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span == 0:
+        return _SPARK_GLYPHS[5] * len(values)
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_SPARK_GLYPHS) - 1))
+        out.append(_SPARK_GLYPHS[idx])
+    return "".join(out)

@@ -1,0 +1,62 @@
+"""Plain-text and markdown table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_markdown_table"]
+
+
+def _stringify(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _column_order(rows: Sequence[Mapping[str, object]],
+                  columns: Optional[Sequence[str]]) -> List[str]:
+    if columns is not None:
+        return list(columns)
+    seen: Dict[str, None] = {}
+    for row in rows:
+        for key in row:
+            seen.setdefault(key)
+    return list(seen)
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 columns: Optional[Sequence[str]] = None,
+                 title: str = "") -> str:
+    """Render rows (list of dicts) as an aligned ASCII table.
+
+    >>> print(format_table([{"a": 1, "b": "x"}, {"a": 22, "b": "y"}]))
+    a   b
+    --  -
+    1   x
+    22  y
+    """
+    cols = _column_order(rows, columns)
+    cells = [[_stringify(row.get(col, "")) for col in cols] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in cells)) if cells else len(col)
+              for i, col in enumerate(cols)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(col.ljust(w) for col, w in zip(cols, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(line.rstrip() for line in lines)
+
+
+def format_markdown_table(rows: Sequence[Mapping[str, object]],
+                          columns: Optional[Sequence[str]] = None) -> str:
+    """Render rows as a GitHub-flavoured markdown table."""
+    cols = _column_order(rows, columns)
+    lines = ["| " + " | ".join(cols) + " |",
+             "|" + "|".join("---" for _ in cols) + "|"]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_stringify(row.get(col, "")) for col in cols)
+            + " |")
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Ablations of VW-SDK's two ingredients.
+
+VW-SDK differs from SDK [2] in exactly two ways: (1) rectangular
+parallel windows, (2) partial-channel tiling.  These searches disable
+one ingredient at a time, quantifying each one's contribution (the
+DESIGN.md ablation benches print the resulting totals):
+
+* :func:`vwsdk_square_only` — channel tiling enabled, but only square
+  windows are searched (isolates the value of rectangles).
+* :func:`vwsdk_full_channels_only` — any window shape, but all input
+  channels must fit in one row tile, i.e. ``IC_t >= IC`` (isolates the
+  value of channel tiling).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.array import PIMArray
+from ..core.layer import ConvLayer
+from ..core.window import ParallelWindow, iter_candidate_windows
+from .im2col import im2col_solution
+from .result import MappingSolution
+from .vwsdk import evaluate_window
+
+__all__ = ["vwsdk_square_only", "vwsdk_full_channels_only"]
+
+
+def _square_candidates(layer: ConvLayer) -> Iterator[ParallelWindow]:
+    limit = min(layer.padded_ifm_h, layer.padded_ifm_w)
+    start = max(layer.kernel_h, layer.kernel_w) + 1
+    for size in range(start, limit + 1):
+        window = ParallelWindow.square(size)
+        if window.covers_kernel(layer):
+            yield window
+
+
+def _search(layer: ConvLayer, array: PIMArray, candidates,
+            require_full_channels: bool) -> MappingSolution:
+    base = im2col_solution(layer, array)
+    incumbent = MappingSolution(
+        scheme="vw-sdk", layer=layer, array=array, window=base.window,
+        breakdown=base.breakdown, duplication=1)
+    searched = 0
+    for window in candidates:
+        searched += 1
+        candidate = evaluate_window(layer, array, window)
+        if candidate is None:
+            continue
+        if (require_full_channels
+                and candidate.breakdown.ic_t < layer.in_channels):
+            continue
+        if candidate.cycles < incumbent.cycles:
+            incumbent = candidate
+    return MappingSolution(
+        scheme="vw-sdk", layer=layer, array=array,
+        window=incumbent.window, breakdown=incumbent.breakdown,
+        duplication=incumbent.duplication, candidates_searched=searched)
+
+
+def vwsdk_square_only(layer: ConvLayer, array: PIMArray) -> MappingSolution:
+    """Algorithm 1 restricted to square parallel windows.
+
+    Still allows partial channels — this is "SDK plus channel tiling".
+
+    >>> from repro.core import ConvLayer, PIMArray
+    >>> layer = ConvLayer.square(14, 3, 256, 256)
+    >>> vwsdk_square_only(layer, PIMArray.square(512)).cycles
+    576
+    """
+    return _search(layer, array, _square_candidates(layer),
+                   require_full_channels=False)
+
+
+def vwsdk_full_channels_only(layer: ConvLayer,
+                             array: PIMArray) -> MappingSolution:
+    """Algorithm 1 restricted to windows hosting all input channels.
+
+    Still allows rectangles — this is "SDK with free shapes but no
+    channel tiling".
+    """
+    return _search(layer, array, iter_candidate_windows(layer),
+                   require_full_channels=True)

@@ -1,0 +1,83 @@
+"""Exhaustive oracle over the full rectangular-window design space.
+
+Algorithm 1 already enumerates every rectangular window, so the oracle's
+value is *independent implementation*: it re-derives the optimum with a
+different traversal (area-major) and optional different tie-breaking,
+letting tests assert that Algorithm 1 is globally optimal over its
+search space and that the incumbent-update logic has no ordering bugs.
+
+It also exposes :func:`enumerate_feasible`, used by design-space
+exploration examples to plot the whole cycle landscape.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from ..core.array import PIMArray
+from ..core.layer import ConvLayer
+from ..core.window import ParallelWindow
+from .im2col import im2col_solution
+from .result import MappingSolution
+from .vwsdk import evaluate_window
+
+__all__ = ["exhaustive_solution", "enumerate_feasible", "cycle_landscape"]
+
+
+def _all_windows(layer: ConvLayer) -> Iterator[ParallelWindow]:
+    """Every window from kernel size up to the IFM, area-major order."""
+    windows: List[ParallelWindow] = []
+    for h in range(layer.kernel_h, layer.padded_ifm_h + 1):
+        for w in range(layer.kernel_w, layer.padded_ifm_w + 1):
+            windows.append(ParallelWindow(h=h, w=w))
+    windows.sort(key=lambda win: (win.area, win.h, win.w))
+    return iter(windows)
+
+
+def enumerate_feasible(layer: ConvLayer,
+                       array: PIMArray) -> Iterator[MappingSolution]:
+    """Yield a solution for every feasible window (kernel-sized included).
+
+    The kernel-sized entry is the fine-grained im2col mapping, mirroring
+    Algorithm 1's initialisation.
+    """
+    base = im2col_solution(layer, array)
+    yield MappingSolution(scheme="vw-sdk", layer=layer, array=array,
+                          window=base.window, breakdown=base.breakdown,
+                          duplication=1)
+    for window in _all_windows(layer):
+        if window.h == layer.kernel_h and window.w == layer.kernel_w:
+            continue
+        candidate = evaluate_window(layer, array, window)
+        if candidate is not None:
+            yield candidate
+
+
+def exhaustive_solution(layer: ConvLayer, array: PIMArray) -> MappingSolution:
+    """Globally cycle-minimal solution over all rectangular windows.
+
+    Tie-breaking: smallest cycle count first, then smallest window area,
+    then height — *different* from Algorithm 1's first-found rule, so a
+    test comparing the two asserts equality of cycle counts, not of
+    window shapes.
+    """
+    best: Optional[MappingSolution] = None
+    best_key: Optional[Tuple[int, int, int]] = None
+    searched = 0
+    for candidate in enumerate_feasible(layer, array):
+        searched += 1
+        key = (candidate.cycles, candidate.window.area, candidate.window.h)
+        if best_key is None or key < best_key:
+            best, best_key = candidate, key
+    assert best is not None  # im2col always feasible
+    return MappingSolution(scheme="vw-sdk", layer=layer, array=array,
+                           window=best.window, breakdown=best.breakdown,
+                           duplication=best.duplication,
+                           candidates_searched=searched)
+
+
+def cycle_landscape(layer: ConvLayer, array: PIMArray
+                    ) -> List[Tuple[ParallelWindow, int]]:
+    """(window, cycles) for every feasible window — for DSE plots."""
+    return [(sol.window, sol.cycles)
+            for sol in enumerate_feasible(layer, array)]

@@ -1,0 +1,40 @@
+"""Im2col baseline [4]: one kernel per column, no input reuse.
+
+Each ``K_h x K_w x IC`` kernel is unrolled into one crossbar column; a
+kernel-sized input patch drives the rows, producing one output element
+per output channel per cycle.  Rows are tiled fine-grained (a column may
+split mid-channel) and columns are tiled by output channel — see
+:func:`repro.core.cycles.im2col_cycles`.
+"""
+
+from __future__ import annotations
+
+from ..core.array import PIMArray
+from ..core.cycles import im2col_cycles
+from ..core.layer import ConvLayer
+from ..core.window import ParallelWindow
+from .result import MappingSolution
+
+__all__ = ["im2col_solution"]
+
+
+def im2col_solution(layer: ConvLayer, array: PIMArray) -> MappingSolution:
+    """Map *layer* on *array* with im2col and return the solution.
+
+    Never fails: im2col can always tile rows and columns until the layer
+    fits, whatever the array size.
+
+    >>> from repro.core import ConvLayer, PIMArray
+    >>> sol = im2col_solution(ConvLayer.square(7, 3, 512, 512),
+    ...                       PIMArray.square(512))
+    >>> sol.cycles        # 25 windows x ceil(4608/512)=9 AR x 1 AC
+    225
+    """
+    return MappingSolution(
+        scheme="im2col",
+        layer=layer,
+        array=array,
+        window=ParallelWindow.of_kernel(layer),
+        breakdown=im2col_cycles(layer, array),
+        duplication=1,
+    )

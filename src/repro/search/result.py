@@ -1,0 +1,149 @@
+"""Mapping-search result types.
+
+A :class:`MappingSolution` bundles everything a search returns: the
+chosen parallel window, the tiled channel counts, the full cycle
+breakdown and enough metadata to render the paper's Table I rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.array import PIMArray
+from ..core.cycles import CycleBreakdown
+from ..core.layer import ConvLayer
+from ..core.window import ParallelWindow
+
+__all__ = ["MappingSolution"]
+
+
+@dataclass(frozen=True)
+class MappingSolution:
+    """The outcome of mapping one layer onto one array with one scheme.
+
+    Attributes
+    ----------
+    scheme:
+        ``"im2col"``, ``"smd"``, ``"sdk"`` or ``"vw-sdk"``.
+    layer, array:
+        The problem instance.
+    window:
+        The chosen parallel window (kernel-sized for im2col/SMD).
+    breakdown:
+        Cycle decomposition; ``breakdown.total`` is the figure of merit.
+    duplication:
+        Kernel copies placed side by side.  For SDK this is ``d*d`` with
+        window ``(K+d-1)``; for SMD the block-diagonal copy count; for
+        im2col 1; for VW-SDK the windows inside the parallel window.
+    candidates_searched:
+        How many windows the search evaluated (diagnostics; 0 for the
+        closed-form baselines).
+    """
+
+    scheme: str
+    layer: ConvLayer
+    array: PIMArray
+    window: ParallelWindow
+    breakdown: CycleBreakdown
+    duplication: int = 1
+    candidates_searched: int = field(default=0, compare=False)
+
+    @property
+    def cycles(self) -> int:
+        """Total computing cycles of this mapping."""
+        return self.breakdown.total
+
+    @property
+    def is_im2col_shaped(self) -> bool:
+        """Whether the solution degenerated to a kernel-sized window."""
+        return (self.window.h == self.layer.kernel_h
+                and self.window.w == self.layer.kernel_w)
+
+    @property
+    def uses_whole_channel_tiling(self) -> bool:
+        """Whether row tiles hold whole channels (eq. 4/5 accounting).
+
+        True for VW-SDK solutions whose breakdown matches the
+        whole-channel evaluation of their window — including forced
+        kernel-sized windows.  False for im2col/SMD/SDK layouts and for
+        VW-SDK solutions that degenerated to the fine-grained im2col
+        initialisation.  Layout builders and the utilization model both
+        dispatch on this, so their tile grids always agree.
+        """
+        if self.scheme in ("im2col", "smd", "sdk"):
+            return False
+        from ..core.cycles import variable_window_cycles
+        from ..core.types import MappingError
+        try:
+            whole = variable_window_cycles(self.layer, self.array,
+                                           self.window)
+        except MappingError:
+            return False
+        return whole == self.breakdown
+
+    def speedup_over(self, other: "MappingSolution") -> float:
+        """``other.cycles / self.cycles`` — how much faster this one is."""
+        if other.layer != self.layer:
+            raise ValueError("speedup comparison requires the same layer")
+        return other.cycles / self.cycles
+
+    # ------------------------------------------------------------------
+    # Paper-style rendering
+    # ------------------------------------------------------------------
+    @property
+    def paper_ic(self) -> int:
+        """Tiled IC as printed in Table I.
+
+        The paper prints the *full* channel count whenever the mapping
+        places entire channels in one column chain (im2col-shaped rows
+        and the SDK column, which by construction maps entire channels);
+        otherwise it prints the tile size.
+        """
+        if self.scheme in ("im2col", "smd", "sdk") or self.is_im2col_shaped:
+            return self.layer.in_channels
+        return self.breakdown.ic_t
+
+    @property
+    def paper_oc(self) -> int:
+        """Tiled OC as printed in Table I (full OC for whole-channel maps)."""
+        if self.scheme in ("im2col", "smd", "sdk") or self.is_im2col_shaped:
+            return self.layer.out_channels
+        return self.breakdown.oc_t
+
+    @property
+    def table_cell(self) -> str:
+        """Table I cell text, e.g. ``"4x3x42x256"``."""
+        return f"{self.window}x{self.paper_ic}x{self.paper_oc}"
+
+    def describe(self) -> str:
+        """Multi-line human-readable report for the CLI and examples."""
+        bd = self.breakdown
+        lines = [
+            f"scheme            : {self.scheme}",
+            f"layer             : {self.layer.describe()}",
+            f"array             : {self.array}",
+            f"parallel window   : {self.window} "
+            f"({self.window.windows_inside(self.layer)} windows/PW)",
+            f"tiled channels    : IC_t={bd.ic_t}  OC_t={bd.oc_t}",
+            f"cycle breakdown   : {bd.n_pw} PW positions x {bd.ar} AR x "
+            f"{bd.ac} AC",
+            f"computing cycles  : {bd.total}",
+        ]
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # noqa: D105 - compact summary
+        return (f"{self.scheme}[{self.window} ic_t={self.breakdown.ic_t} "
+                f"oc_t={self.breakdown.oc_t} cycles={self.cycles}]")
+
+
+def best_of(*solutions: Optional[MappingSolution]) -> MappingSolution:
+    """Return the solution with the fewest cycles (ties keep first)."""
+    present = [s for s in solutions if s is not None]
+    if not present:
+        raise ValueError("best_of needs at least one solution")
+    best = present[0]
+    for candidate in present[1:]:
+        if candidate.cycles < best.cycles:
+            best = candidate
+    return best

@@ -1,0 +1,71 @@
+"""Sub-matrix duplication baseline [6] (Peng et al., ISCAS 2019).
+
+SMD duplicates the whole im2col weight matrix ``d`` times inside one
+crossbar, block-diagonally: copy ``i`` occupies rows
+``[i*K*K*IC, (i+1)*K*K*IC)`` and columns ``[i*OC, (i+1)*OC)``.  Each copy
+is driven by a *different* input window, so ``d`` output positions are
+produced per cycle — without any input reuse between copies (that is
+SDK's later refinement).
+
+The duplication factor is limited by whichever dimension fills first:
+
+``d = min(floor(rows / (K_h*K_w*IC)), floor(cols / OC))``
+
+If even one copy does not fit (``d == 0``) SMD degenerates to im2col
+with its usual row/column tiling.
+"""
+
+from __future__ import annotations
+
+from ..core.array import PIMArray
+from ..core.cycles import CycleBreakdown, im2col_cycles
+from ..core.layer import ConvLayer
+from ..core.types import ceil_div
+from ..core.window import ParallelWindow
+from .result import MappingSolution
+
+__all__ = ["smd_solution", "smd_duplication"]
+
+
+def smd_duplication(layer: ConvLayer, array: PIMArray) -> int:
+    """Block-diagonal copies of the im2col matrix that fit the array."""
+    by_rows = array.rows // layer.im2col_rows
+    by_cols = array.cols // layer.out_channels
+    return min(by_rows, by_cols)
+
+
+def smd_solution(layer: ConvLayer, array: PIMArray) -> MappingSolution:
+    """Map *layer* on *array* with sub-matrix duplication.
+
+    >>> from repro.core import ConvLayer, PIMArray
+    >>> layer = ConvLayer.square(8, 3, 3, 8)      # 36 windows, 27 rows
+    >>> sol = smd_solution(layer, PIMArray(128, 64))
+    >>> sol.duplication, sol.cycles               # 4 copies -> 9 cycles
+    (4, 9)
+    """
+    dup = smd_duplication(layer, array)
+    if dup < 1:
+        fallback = im2col_cycles(layer, array)
+        return MappingSolution(
+            scheme="smd",
+            layer=layer,
+            array=array,
+            window=ParallelWindow.of_kernel(layer),
+            breakdown=fallback,
+            duplication=1,
+        )
+    breakdown = CycleBreakdown(
+        n_pw=ceil_div(layer.num_windows, dup),
+        ar=1,
+        ac=1,
+        ic_t=layer.in_channels,
+        oc_t=layer.out_channels,
+    )
+    return MappingSolution(
+        scheme="smd",
+        layer=layer,
+        array=array,
+        window=ParallelWindow.of_kernel(layer),
+        breakdown=breakdown,
+        duplication=dup,
+    )

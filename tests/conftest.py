@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ConvLayer, PIMArray
+from repro.networks import resnet18, vgg13
+
+
+@pytest.fixture
+def array512() -> PIMArray:
+    """The paper's main 512x512 array."""
+    return PIMArray.square(512)
+
+
+@pytest.fixture
+def resnet_l4() -> ConvLayer:
+    """ResNet-18 layer 4 (14x14, 3x3x256x256) — the 4x3-window poster child."""
+    return ConvLayer.square(14, 3, 256, 256)
+
+
+@pytest.fixture
+def vgg_l5() -> ConvLayer:
+    """VGG-13 layer 5 (56x56, 3x3x128x256) — the 73.8%-utilization layer."""
+    return ConvLayer.square(56, 3, 128, 256)
+
+
+@pytest.fixture
+def vgg13_net():
+    """The paper's VGG-13 network."""
+    return vgg13()
+
+
+@pytest.fixture
+def resnet18_net():
+    """The paper's ResNet-18 network."""
+    return resnet18()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for functional tests."""
+    return np.random.default_rng(1234)
+
+
+def random_layer_inputs(layer: ConvLayer, rng: np.random.Generator,
+                        low: int = -4, high: int = 5):
+    """Integer-valued float IFM/kernel for exact functional checks."""
+    ifm = rng.integers(low, high, (layer.in_channels, layer.ifm_h,
+                                   layer.ifm_w)).astype(float)
+    kernel = rng.integers(low, high, (layer.out_channels, layer.in_channels,
+                                      layer.kernel_h, layer.kernel_w)
+                          ).astype(float)
+    return ifm, kernel

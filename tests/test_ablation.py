@@ -1,0 +1,78 @@
+"""Unit tests for the VW-SDK ingredient ablations."""
+
+import pytest
+
+from repro import ConvLayer, PIMArray
+from repro.networks import resnet18, vgg13
+from repro.search import (
+    im2col_solution,
+    vwsdk_full_channels_only,
+    vwsdk_solution,
+    vwsdk_square_only,
+)
+
+
+class TestSquareOnly:
+    def test_never_beats_full_search(self, array512):
+        for layer in resnet18():
+            full = vwsdk_solution(layer, array512).cycles
+            square = vwsdk_square_only(layer, array512).cycles
+            assert square >= full
+
+    def test_window_is_square_or_kernel(self, array512):
+        for layer in vgg13():
+            sol = vwsdk_square_only(layer, array512)
+            assert sol.window.is_square or sol.is_im2col_shaped
+
+    def test_resnet_l4_square_beats_sdk(self, resnet_l4, array512):
+        # Channel tiling alone (square 4x4, IC_t=32) already beats the
+        # SDK baseline's im2col fallback on this layer: 576 < 720.
+        sol = vwsdk_square_only(resnet_l4, array512)
+        assert str(sol.window) == "4x4"
+        assert sol.cycles == 576
+
+    def test_rectangles_matter_on_resnet_l4(self, resnet_l4, array512):
+        # ... but the 4x3 rectangle is still better: 504 < 576.
+        assert vwsdk_solution(resnet_l4, array512).cycles == 504
+
+
+class TestFullChannelsOnly:
+    def test_never_beats_full_search(self, array512):
+        for layer in resnet18():
+            full = vwsdk_solution(layer, array512).cycles
+            restricted = vwsdk_full_channels_only(layer, array512).cycles
+            assert restricted >= full
+
+    def test_falls_back_when_channels_cannot_fit(self, array512):
+        # 512 channels x 9 cells never fit 512 rows: im2col fallback.
+        layer = ConvLayer.square(7, 3, 512, 512)
+        sol = vwsdk_full_channels_only(layer, array512)
+        assert sol.cycles == im2col_solution(layer, array512).cycles
+
+    def test_expands_window_when_channels_fit(self, array512):
+        # IC=3: whole channels fit large windows; rectangles allowed.
+        layer = ConvLayer.square(224, 3, 3, 64)
+        sol = vwsdk_full_channels_only(layer, array512)
+        assert sol.breakdown.ic_t == 3
+        assert sol.cycles == vwsdk_solution(layer, array512).cycles
+
+    def test_channel_tiling_is_the_bigger_lever_on_resnet(self, array512):
+        full = sum(vwsdk_solution(l, array512).cycles for l in resnet18())
+        squares = sum(vwsdk_square_only(l, array512).cycles
+                      for l in resnet18())
+        channels = sum(vwsdk_full_channels_only(l, array512).cycles
+                       for l in resnet18())
+        # Removing channel tiling hurts much more than removing
+        # rectangles (paper's VW-SDK = SDK + both).
+        assert (channels - full) > (squares - full)
+
+
+class TestAblationBookkeeping:
+    def test_candidates_counted(self, resnet_l4, array512):
+        sol = vwsdk_square_only(resnet_l4, array512)
+        assert sol.candidates_searched > 0
+
+    def test_scheme_stays_vwsdk(self, resnet_l4, array512):
+        assert vwsdk_square_only(resnet_l4, array512).scheme == "vw-sdk"
+        assert (vwsdk_full_channels_only(resnet_l4, array512).scheme
+                == "vw-sdk")

@@ -1,0 +1,155 @@
+"""Unit tests for chip-level allocation and pipelining."""
+
+import pytest
+
+from repro import ChipConfig, ConvLayer, PIMArray
+from repro.chip import (
+    InsufficientArraysError,
+    allocate_layer,
+    plan_pipeline,
+    residency_arrays,
+)
+from repro.networks import resnet18, vgg13
+from repro.search import solve
+
+
+@pytest.fixture(scope="module")
+def conv4_solution():
+    # 72 PW positions x 7 AR x 1 AC tiles.
+    return solve(ConvLayer.square(14, 3, 256, 256), PIMArray.square(512),
+                 "vw-sdk")
+
+
+class TestChipConfig:
+    def test_total_cells(self):
+        chip = ChipConfig(PIMArray.square(512), 4)
+        assert chip.total_cells == 4 * 512 * 512
+
+    def test_positive_count_required(self):
+        with pytest.raises(Exception):
+            ChipConfig(PIMArray.square(512), 0)
+
+    def test_str(self):
+        assert str(ChipConfig(PIMArray(512, 256), 8)) == "8x(512x256)"
+
+
+class TestLayerAllocation:
+    def test_residency_minimum(self, conv4_solution):
+        assert residency_arrays(conv4_solution) == 7
+
+    def test_resident_latency_is_npw(self, conv4_solution):
+        alloc = allocate_layer(conv4_solution, 7)
+        assert alloc.resident
+        assert alloc.latency_cycles == 72
+        assert alloc.reprogram_events == 0
+
+    def test_replication_halves_latency(self, conv4_solution):
+        alloc = allocate_layer(conv4_solution, 14)
+        assert alloc.replicas == 2
+        assert alloc.latency_cycles == 36
+
+    def test_partial_extra_arrays_do_not_help(self, conv4_solution):
+        # 13 arrays = 1 full replica + 6 spare: latency unchanged.
+        alloc = allocate_layer(conv4_solution, 13)
+        assert alloc.replicas == 1
+        assert alloc.latency_cycles == 72
+
+    def test_non_resident_multiplexing(self, conv4_solution):
+        alloc = allocate_layer(conv4_solution, 2)
+        assert not alloc.resident
+        assert alloc.latency_cycles == 72 * 4   # ceil(7/2) rounds
+        assert alloc.reprogram_events == 7
+
+    def test_single_array_matches_paper_model(self, conv4_solution):
+        # One array, time-multiplexed: exactly the paper's 504 cycles.
+        alloc = allocate_layer(conv4_solution, 1)
+        assert alloc.latency_cycles == conv4_solution.cycles
+
+    def test_utilized_arrays(self, conv4_solution):
+        assert allocate_layer(conv4_solution, 15).utilized_arrays == 14
+
+
+class TestPipeline:
+    def test_resnet_on_64_arrays(self):
+        chip = ChipConfig(PIMArray.square(512), 64)
+        plan = plan_pipeline(resnet18(), chip, "vw-sdk")
+        assert plan.arrays_used <= 64
+        assert plan.bottleneck_cycles <= 1431   # at worst stage 1 resident
+        assert len(plan.allocations) == 5
+
+    def test_insufficient_arrays_raises(self):
+        chip = ChipConfig(PIMArray.square(512), 4)
+        with pytest.raises(InsufficientArraysError):
+            plan_pipeline(vgg13(), chip, "im2col")
+
+    def test_vw_beats_im2col_at_chip_level(self):
+        chip = ChipConfig(PIMArray.square(512), 64)
+        vw = plan_pipeline(resnet18(), chip, "vw-sdk")
+        im = plan_pipeline(resnet18(), chip, "im2col")
+        assert vw.speedup_over(im) > 1.0
+
+    def test_more_arrays_never_slower(self):
+        for count in (40, 64, 128, 256):
+            chip_small = ChipConfig(PIMArray.square(512), count)
+            chip_big = ChipConfig(PIMArray.square(512), count * 2)
+            small = plan_pipeline(resnet18(), chip_small).bottleneck_cycles
+            big = plan_pipeline(resnet18(), chip_big).bottleneck_cycles
+            assert big <= small
+
+    def test_greedy_matches_bruteforce_small(self):
+        # Two-layer toy network: check the greedy min-max is optimal.
+        from itertools import product
+        from repro.networks import Network
+        net = Network.from_layers("toy", [
+            ConvLayer.square(10, 3, 12, 8),
+            ConvLayer.square(8, 3, 16, 8),
+        ])
+        array = PIMArray(64, 32)
+        budget = 9
+        plan = plan_pipeline(net, ChipConfig(array, budget))
+        sols = [solve(layer, array, "vw-sdk") for layer in net]
+        mins = [residency_arrays(s) for s in sols]
+        best = None
+        for a0, a1 in product(range(mins[0], budget + 1),
+                              range(mins[1], budget + 1)):
+            if a0 + a1 > budget:
+                continue
+            lat = max(allocate_layer(sols[0], a0).latency_cycles,
+                      allocate_layer(sols[1], a1).latency_cycles)
+            best = lat if best is None else min(best, lat)
+        assert plan.bottleneck_cycles == best
+
+    def test_fill_latency_at_least_bottleneck(self):
+        chip = ChipConfig(PIMArray.square(512), 64)
+        plan = plan_pipeline(resnet18(), chip)
+        assert plan.fill_latency_cycles >= plan.bottleneck_cycles
+
+    def test_rows_report(self):
+        chip = ChipConfig(PIMArray.square(512), 64)
+        rows = plan_pipeline(resnet18(), chip).rows()
+        assert len(rows) == 5
+        assert all(r["arrays"] >= r["tiles"] for r in rows)
+
+    def test_repeats_raise_bottleneck(self):
+        # A repeated block must hold `repeats` weight copies, so each
+        # stage copy gets fewer replicas and the bottleneck grows.
+        from repro.networks import Network
+        single = Network.from_layers("s", [ConvLayer.square(10, 3, 12, 8)])
+        repeated = Network.from_layers(
+            "r", [ConvLayer.square(10, 3, 12, 8, repeats=3)])
+        array = PIMArray(64, 32)
+        chip = ChipConfig(array, 30)
+        assert (plan_pipeline(repeated, chip).bottleneck_cycles
+                >= plan_pipeline(single, chip).bottleneck_cycles)
+        # And the replication step honours the repeat multiplier: the
+        # per-stage arrays stay divisible by the tile count.
+        plan = plan_pipeline(repeated, chip)
+        alloc = plan.allocations[0]
+        assert alloc.arrays % 3 == 0        # tiles = 3
+        assert plan.arrays_used == alloc.arrays * 3  # repeats = 3
+
+    def test_throughput_metric(self):
+        chip = ChipConfig(PIMArray.square(512), 64)
+        plan = plan_pipeline(resnet18(), chip)
+        assert plan.throughput_per_kcycle == pytest.approx(
+            1000 / plan.bottleneck_cycles)

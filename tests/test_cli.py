@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_map_defaults(self):
+        args = build_parser().parse_args(
+            ["map", "--ifm", "14", "--ic", "256", "--oc", "256"])
+        assert args.scheme == "vw-sdk"
+        assert args.array == "512x512"
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["map", "--ifm", "14", "--ic", "1", "--oc", "1",
+                 "--scheme", "magic"])
+
+
+class TestMapCommand:
+    def test_resnet_l4(self, capsys):
+        assert main(["map", "--ifm", "14", "--ic", "256",
+                     "--oc", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "4x3" in out
+        assert "504" in out
+        assert "utilization" in out
+
+    def test_custom_array_and_scheme(self, capsys):
+        assert main(["map", "--ifm", "14", "--ic", "256", "--oc", "256",
+                     "--array", "512x256", "--scheme", "im2col"]) == 0
+        out = capsys.readouterr().out
+        assert "im2col" in out
+
+    def test_kernel_flag(self, capsys):
+        assert main(["map", "--ifm", "112", "--kernel", "7", "--ic", "3",
+                     "--oc", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "10x8" in out
+
+
+class TestNetworkCommand:
+    def test_resnet18(self, capsys):
+        assert main(["network", "resnet18"]) == 0
+        out = capsys.readouterr().out
+        assert "vw-sdk=4294" in out
+        assert "4.67x" in out
+
+    def test_unknown_network(self):
+        with pytest.raises(ValueError):
+            main(["network", "lenet"])
+
+    def test_small_array(self, capsys):
+        assert main(["network", "resnet18", "--array", "128x128"]) == 0
+        out = capsys.readouterr().out
+        assert "128x128" in out
+
+
+class TestLandscapeCommand:
+    def test_prints_best_windows(self, capsys):
+        assert main(["landscape", "--ifm", "14", "--ic", "256",
+                     "--oc", "256", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "4x3" in out
+        assert "feasible" in out
+
+
+class TestChipCommand:
+    def test_plans_pipeline(self, capsys):
+        assert main(["chip", "resnet18", "--arrays", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "bottleneck" in out
+        assert "arrays used" in out
+
+    def test_scheme_flag(self, capsys):
+        assert main(["chip", "resnet18", "--arrays", "64",
+                     "--scheme", "im2col"]) == 0
+        out = capsys.readouterr().out
+        assert "im2col" in out

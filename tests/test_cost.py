@@ -1,0 +1,89 @@
+"""Unit tests for the latency/energy cost model."""
+
+import pytest
+
+from repro import ConvLayer, CostParams, PIMArray, cost_report
+from repro.search import im2col_solution, solve
+
+
+class TestCostParams:
+    def test_defaults_positive(self):
+        params = CostParams()
+        assert params.adc_energy_pj > 0
+        assert params.cycle_time_ns > 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CostParams(adc_energy_pj=-1.0)
+
+    def test_custom_values(self):
+        params = CostParams(cycle_time_ns=50.0, adc_energy_pj=1.0)
+        assert params.cycle_time_ns == 50.0
+
+
+class TestCostReport:
+    def test_latency_is_cycles_times_period(self, resnet_l4, array512):
+        sol = solve(resnet_l4, array512, "vw-sdk")
+        rep = cost_report(sol, CostParams(cycle_time_ns=100.0))
+        assert rep.latency_us == pytest.approx(sol.cycles * 0.1)
+
+    def test_adc_energy_counts_used_columns_when_opted(self):
+        layer = ConvLayer.square(8, 3, 4, 4)
+        sol = im2col_solution(layer, PIMArray(64, 16))
+        params = CostParams(adc_energy_pj=1.0, dac_energy_pj=0.0,
+                            cell_energy_pj=0.0, idle_column_conversion=False)
+        rep = cost_report(sol, params)
+        # 36 windows x 4 used columns x 1 pJ = 144 pJ = 0.144 nJ.
+        assert rep.adc_energy_nj == pytest.approx(0.144)
+
+    def test_adc_energy_scans_whole_array_by_default(self):
+        # The paper's model: the ADC bank digitises all columns every
+        # cycle, so conversion energy is proportional to cycles.
+        layer = ConvLayer.square(8, 3, 4, 4)
+        sol = im2col_solution(layer, PIMArray(64, 16))
+        params = CostParams(adc_energy_pj=1.0, dac_energy_pj=0.0,
+                            cell_energy_pj=0.0)
+        rep = cost_report(sol, params)
+        assert rep.adc_energy_nj == pytest.approx(36 * 16 / 1000.0)
+
+    def test_dac_energy_counts_rows(self):
+        layer = ConvLayer.square(8, 3, 4, 4)
+        sol = im2col_solution(layer, PIMArray(64, 16))
+        params = CostParams(adc_energy_pj=0.0, dac_energy_pj=1.0,
+                            cell_energy_pj=0.0)
+        rep = cost_report(sol, params)
+        assert rep.dac_energy_nj == pytest.approx(36 * 36 / 1000.0)
+
+    def test_conversion_fraction_dominates_by_default(self, resnet_l4,
+                                                      array512):
+        rep = cost_report(solve(resnet_l4, array512, "vw-sdk"))
+        assert rep.conversion_fraction > 0.5
+
+    def test_write_energy_excluded_by_default(self, resnet_l4, array512):
+        rep = cost_report(solve(resnet_l4, array512, "vw-sdk"))
+        assert rep.total_energy_nj == pytest.approx(rep.compute_energy_nj)
+
+    def test_write_energy_included_when_enabled(self, resnet_l4, array512):
+        params = CostParams(include_writes=True)
+        rep = cost_report(solve(resnet_l4, array512, "vw-sdk"), params)
+        assert rep.total_energy_nj > rep.compute_energy_nj
+
+    def test_breakdown_keys(self, resnet_l4, array512):
+        rep = cost_report(solve(resnet_l4, array512, "vw-sdk"))
+        assert set(rep.energy_breakdown()) == {"adc", "dac", "cell", "write"}
+
+    def test_vwsdk_cheaper_than_im2col(self, resnet_l4, array512):
+        base = cost_report(solve(resnet_l4, array512, "im2col"))
+        ours = cost_report(solve(resnet_l4, array512, "vw-sdk"))
+        assert ours.latency_us < base.latency_us
+        assert ours.adc_energy_nj < base.adc_energy_nj
+
+    def test_energy_ratio_tracks_cycle_ratio_loosely(self, resnet_l4,
+                                                     array512):
+        # Conversions dominate, so energy ratio should be within ~2x of
+        # the cycle ratio (not exact: per-cycle activity differs).
+        base = cost_report(solve(resnet_l4, array512, "im2col"))
+        ours = cost_report(solve(resnet_l4, array512, "vw-sdk"))
+        cycle_ratio = base.cycles / ours.cycles
+        energy_ratio = base.total_energy_nj / ours.total_energy_nj
+        assert energy_ratio > cycle_ratio / 3

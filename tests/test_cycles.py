@@ -1,0 +1,177 @@
+"""Unit tests for the cycle model (eqs. 1-8), hand-computed values."""
+
+import pytest
+
+from repro import ConvLayer, MappingError, PIMArray, ParallelWindow
+from repro.core.cycles import (
+    ac_cycles,
+    ar_cycles_fine_grained,
+    ar_cycles_whole_channel,
+    im2col_cycles,
+    num_parallel_windows,
+    parallel_window_grid,
+    tiled_input_channels,
+    tiled_output_channels,
+    variable_window_cycles,
+)
+
+
+class TestParallelWindowCounting:
+    """Eq. 3 in its ceil(windows / windows-per-PW) form."""
+
+    def test_vgg_l2_4x4(self):
+        layer = ConvLayer.square(224, 3, 64, 64)
+        assert parallel_window_grid(layer, ParallelWindow.square(4)) == (111, 111)
+
+    def test_resnet_l1_10x8(self):
+        layer = ConvLayer.square(112, 7, 3, 64)
+        win = ParallelWindow(h=8, w=10)
+        assert parallel_window_grid(layer, win) == (53, 27)
+        assert num_parallel_windows(layer, win) == 1431
+
+    def test_vgg_l1_10x3(self):
+        layer = ConvLayer.square(224, 3, 3, 64)
+        assert num_parallel_windows(layer, ParallelWindow(h=3, w=10)) == 6216
+
+    def test_window_equals_ifm(self):
+        layer = ConvLayer.square(7, 3, 1, 1)
+        assert num_parallel_windows(layer, ParallelWindow.square(7)) == 1
+
+    def test_kernel_window_counts_all_windows(self):
+        layer = ConvLayer.square(14, 3, 1, 1)
+        assert num_parallel_windows(layer, ParallelWindow.square(3)) == 144
+
+    def test_clamped_final_window(self):
+        # 5 windows along an axis, 2 per PW -> 3 positions (last clamped).
+        layer = ConvLayer.square(7, 3, 1, 1)
+        win = ParallelWindow(h=3, w=4)
+        assert parallel_window_grid(layer, win) == (5, 3)
+
+    def test_window_too_large_raises(self):
+        layer = ConvLayer.square(7, 3, 1, 1)
+        with pytest.raises(MappingError):
+            num_parallel_windows(layer, ParallelWindow(h=8, w=3))
+
+    def test_matches_paper_eq3_form(self):
+        # ceil((I - PW)/(PW - K + 1)) + 1 must equal our form everywhere.
+        import math
+        for ifm in range(5, 40):
+            for pw in range(4, ifm + 1):
+                layer = ConvLayer.square(ifm, 3, 1, 1)
+                ours = parallel_window_grid(
+                    layer, ParallelWindow(h=3, w=pw))[1]
+                paper = math.ceil((ifm - pw) / (pw - 3 + 1)) + 1
+                assert ours == paper, (ifm, pw)
+
+
+class TestChannelTiling:
+    """Eqs. 4-7."""
+
+    def test_ic_t_basic(self):
+        layer = ConvLayer.square(14, 3, 256, 256)
+        arr = PIMArray.square(512)
+        assert tiled_input_channels(arr, ParallelWindow(h=3, w=4), layer) == 42
+
+    def test_ic_t_capped_at_layer(self):
+        layer = ConvLayer.square(224, 3, 3, 64)
+        arr = PIMArray.square(512)
+        assert tiled_input_channels(arr, ParallelWindow(h=3, w=10), layer) == 3
+
+    def test_ic_t_zero_raises(self):
+        layer = ConvLayer.square(30, 3, 4, 4)
+        with pytest.raises(MappingError):
+            tiled_input_channels(PIMArray(16, 64), ParallelWindow.square(5),
+                                 layer)
+
+    def test_oc_t_basic(self):
+        layer = ConvLayer.square(14, 3, 256, 256)
+        arr = PIMArray.square(512)
+        # 4x3 window -> 2 windows -> floor(512/2) = 256.
+        assert tiled_output_channels(arr, ParallelWindow(h=3, w=4),
+                                     layer) == 256
+
+    def test_oc_t_capped_at_layer(self):
+        layer = ConvLayer.square(14, 3, 8, 8)
+        arr = PIMArray.square(512)
+        assert tiled_output_channels(arr, ParallelWindow(h=3, w=4), layer) == 8
+
+    def test_oc_t_zero_raises(self):
+        layer = ConvLayer.square(30, 3, 4, 4)
+        with pytest.raises(MappingError):
+            tiled_output_channels(PIMArray(512, 4), ParallelWindow.square(6),
+                                  layer)
+
+    def test_ar_whole_channel_resnet_l4(self):
+        layer = ConvLayer.square(14, 3, 256, 256)
+        assert ar_cycles_whole_channel(PIMArray.square(512),
+                                       ParallelWindow(h=3, w=4), layer) == 7
+
+    def test_ar_fine_grained_resnet_l5(self):
+        layer = ConvLayer.square(7, 3, 512, 512)
+        assert ar_cycles_fine_grained(PIMArray.square(512), layer) == 9
+
+    def test_fine_vs_whole_channel_differ(self):
+        # The Table I subtlety: fine 9 vs whole-channel 10 for L5.
+        layer = ConvLayer.square(7, 3, 512, 512)
+        arr = PIMArray.square(512)
+        fine = ar_cycles_fine_grained(arr, layer)
+        whole = ar_cycles_whole_channel(arr, ParallelWindow.square(3), layer)
+        assert fine == 9
+        assert whole == 10
+
+    def test_ac_cycles(self):
+        layer = ConvLayer.square(28, 3, 64, 512)
+        arr = PIMArray(512, 128)
+        assert ac_cycles(arr, ParallelWindow.square(3), layer) == 4
+
+
+class TestEndToEnd:
+    """Eq. 8 and the im2col variant, checked against Table I cells."""
+
+    @pytest.mark.parametrize("ifm,k,ic,oc,win_w,win_h,expected", [
+        (224, 3, 3, 64, 10, 3, 6216),      # VGG-13 L1
+        (224, 3, 64, 64, 4, 4, 24642),     # VGG-13 L2
+        (112, 3, 64, 128, 4, 4, 6050),     # VGG-13 L3
+        (112, 3, 128, 128, 4, 4, 12100),   # VGG-13 L4
+        (56, 3, 128, 256, 4, 3, 5832),     # VGG-13 L5
+        (56, 3, 256, 256, 4, 3, 10206),    # VGG-13 L6
+        (112, 7, 3, 64, 10, 8, 1431),      # ResNet-18 L1
+        (56, 3, 64, 64, 4, 4, 1458),       # ResNet-18 L2
+        (28, 3, 128, 128, 4, 4, 676),      # ResNet-18 L3
+        (14, 3, 256, 256, 4, 3, 504),      # ResNet-18 L4
+    ])
+    def test_table1_vw_cells(self, ifm, k, ic, oc, win_w, win_h, expected):
+        layer = ConvLayer.square(ifm, k, ic, oc)
+        bd = variable_window_cycles(layer, PIMArray.square(512),
+                                    ParallelWindow(h=win_h, w=win_w))
+        assert bd.total == expected
+
+    @pytest.mark.parametrize("ifm,k,ic,oc,expected", [
+        (224, 3, 3, 64, 49284),     # VGG-13 L1
+        (224, 3, 64, 64, 98568),    # VGG-13 L2
+        (28, 3, 256, 512, 3380),    # VGG-13 L7
+        (7, 3, 512, 512, 225),      # ResNet-18 L5 (the AR=9 case)
+        (112, 7, 3, 64, 11236),     # ResNet-18 L1
+    ])
+    def test_im2col_cells(self, ifm, k, ic, oc, expected):
+        layer = ConvLayer.square(ifm, k, ic, oc)
+        assert im2col_cycles(layer, PIMArray.square(512)).total == expected
+
+    def test_breakdown_total_is_product(self):
+        layer = ConvLayer.square(14, 3, 256, 256)
+        bd = variable_window_cycles(layer, PIMArray.square(512),
+                                    ParallelWindow(h=3, w=4))
+        assert bd.total == bd.n_pw * bd.ar * bd.ac
+        assert (bd.n_pw, bd.ar, bd.ac) == (72, 7, 1)
+
+    def test_window_smaller_than_kernel_raises(self):
+        layer = ConvLayer.square(14, 3, 8, 8)
+        with pytest.raises(MappingError):
+            variable_window_cycles(layer, PIMArray.square(512),
+                                   ParallelWindow(h=2, w=8))
+
+    def test_im2col_reports_full_channels_when_unsplit(self):
+        layer = ConvLayer.square(14, 3, 8, 8)
+        bd = im2col_cycles(layer, PIMArray.square(512))
+        assert bd.ic_t == 8
+        assert bd.ar == 1

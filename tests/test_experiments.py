@@ -1,0 +1,166 @@
+"""Integration tests: every paper experiment regenerates and verifies."""
+
+import pytest
+
+from repro.experiments import (
+    fig1,
+    fig2,
+    fig4,
+    fig5,
+    fig7,
+    fig8,
+    fig9,
+    table1,
+)
+from repro.experiments.runner import (
+    format_scoreboard,
+    run_all,
+    verification_scoreboard,
+)
+
+
+class TestTable1:
+    def test_all_checks_pass(self):
+        for name, expected, measured, ok in table1.verify():
+            assert ok, f"{name}: paper={expected} measured={measured}"
+
+    def test_totals(self):
+        results = table1.run()
+        assert results["VGG-13"].totals == (243736, 114697, 77102)
+        assert results["Resnet-18"].totals == (20041, 7240, 4294)
+
+    def test_to_text_contains_rows(self):
+        text = table1.run()["Resnet-18"].to_text()
+        assert "10x8x3x64" in text
+        assert "4294" in text
+
+    def test_row_count(self):
+        results = table1.run()
+        assert len(results["VGG-13"].rows) == 10
+        assert len(results["Resnet-18"].rows) == 5
+
+
+class TestFig1:
+    def test_checks_pass(self):
+        for name, expected, measured, ok in fig1.verify():
+            assert ok, f"{name}: {expected} vs {measured}"
+
+    def test_cycle_ordering(self):
+        result = fig1.run()
+        cycles = [bd.total for bd in result.breakdowns.values()]
+        assert cycles == sorted(cycles, reverse=True)
+
+    def test_text(self):
+        assert "18" in fig1.run().to_text()
+
+
+class TestFig2:
+    def test_runs_and_renders(self):
+        result = fig2.run()
+        assert set(result.art) == {"im2col", "smd", "sdk", "vw-sdk"}
+        text = result.to_text()
+        assert "im2col" in text
+
+    def test_vw_uses_fewest_cycles(self):
+        result = fig2.run()
+        cycles = {s: st["cycles"] for s, st in result.stats.items()}
+        assert cycles["vw-sdk"] <= min(cycles["im2col"], cycles["sdk"])
+
+
+class TestFig4:
+    def test_checks_pass(self):
+        for name, expected, measured, ok in fig4.verify():
+            assert ok, f"{name}: {expected} vs {measured}"
+
+    def test_no_array_holds_late_vgg_layers(self):
+        result = fig4.run()
+        from repro.core import PIMArray
+        # Even 512x512 with im2col cannot hold conv layers with IC>=64.
+        assert result.mappable_layers("im2col", PIMArray(512, 512)) <= 2
+        assert result.mappable_layers("sdk-4x4", PIMArray(128, 128)) <= 1
+
+
+class TestFig5:
+    def test_checks_pass(self):
+        for name, expected, measured, ok in fig5.verify():
+            assert ok, f"{name}: {expected} vs {measured}"
+
+    def test_series_lengths(self):
+        result = fig5.run()
+        assert all(len(s) == len(fig5.IFM_SIZES) for s in result.series)
+
+    def test_4x3_dominates_4x4_everywhere(self):
+        result = fig5.run()
+        by_name = {s.name: s for s in result.series}
+        assert all(a >= b for a, b in zip(by_name["4x3 rectangle"].y,
+                                          by_name["4x4 square"].y))
+
+
+class TestFig7:
+    def test_checks_pass(self):
+        for name, expected, measured, ok in fig7.verify():
+            assert ok, f"{name}: {expected} vs {measured}"
+
+    def test_monotone_decreasing(self):
+        result = fig7.run()
+        for series in result.ic_series + result.oc_series:
+            assert all(a >= b for a, b in zip(series.y, series.y[1:]))
+
+    def test_larger_array_dominates(self):
+        result = fig7.run()
+        small = result.ic_series[0].y
+        large = result.ic_series[-1].y
+        assert all(l >= s for s, l in zip(small, large))
+
+
+class TestFig8:
+    def test_checks_pass(self):
+        for name, expected, measured, ok in fig8.verify():
+            assert ok, f"{name}: {expected} vs {measured}"
+
+    def test_per_layer_series_have_total_entry(self):
+        result = fig8.run()
+        for series_list in result.per_layer.values():
+            for series in series_list:
+                assert series.x[-1] == "total"
+
+    def test_vw_speedup_at_least_one_everywhere(self):
+        result = fig8.run()
+        for series_list in result.per_layer.values():
+            vw = next(s for s in series_list if s.name == "vw-sdk")
+            assert all(v >= 1.0 for v in vw.y)
+
+
+class TestFig9:
+    def test_checks_pass(self):
+        for name, expected, measured, ok in fig9.verify():
+            assert ok, f"{name}: {expected} vs {measured}"
+
+    def test_layer5_paper_value(self):
+        result = fig9.run()
+        assert result.peak(5, "vw-sdk") == pytest.approx(73.8, abs=0.05)
+
+    def test_panel_b_rows(self):
+        result = fig9.run()
+        assert len(result.panel_b) == 2 * len(fig9.ARRAY_SWEEP)
+
+
+class TestRunner:
+    def test_scoreboard_all_pass(self):
+        checks = verification_scoreboard()
+        failed = [c for c in checks if not c.ok]
+        assert not failed, format_scoreboard(failed)
+        assert len(checks) >= 45
+
+    def test_run_all_produces_text(self):
+        texts = run_all()
+        assert set(texts) == set(
+            ["table1", "fig1", "fig2", "fig4", "fig5", "fig7", "fig8",
+             "fig9"])
+        assert all(isinstance(t, str) and t for t in texts.values())
+
+    def test_format_scoreboard(self):
+        checks = verification_scoreboard()
+        text = format_scoreboard(checks)
+        assert "checks passed" in text
+        assert "FAIL" not in text

@@ -1,0 +1,49 @@
+"""Tests for the experiment artifact exporter."""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments.export import export_all
+
+
+@pytest.fixture(scope="module")
+def exported(tmp_path_factory):
+    out = tmp_path_factory.mktemp("artifacts")
+    paths = export_all(out)
+    return out, paths
+
+
+class TestExportAll:
+    def test_writes_many_files(self, exported):
+        _, paths = exported
+        assert len(paths) >= 14
+        assert all(p.exists() for p in paths)
+
+    def test_table1_csv_rows(self, exported):
+        out, _ = exported
+        with (out / "table1_vgg13.csv").open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 10
+        assert rows[0]["VW-SDK"] == "10x3x3x64"
+
+    def test_table1_totals_json(self, exported):
+        out, _ = exported
+        payload = json.loads((out / "table1_resnet18_totals.json"
+                              ).read_text())
+        assert payload == {"im2col": 20041, "sdk": 7240, "vw-sdk": 4294}
+
+    def test_fig8b_series(self, exported):
+        out, _ = exported
+        with (out / "fig8b_resnet18.csv").open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 5   # five array sizes
+        assert float(rows[-1]["vw-sdk"]) == pytest.approx(4.667, abs=0.01)
+
+    def test_scoreboard_all_pass(self, exported):
+        out, _ = exported
+        with (out / "scoreboard.csv").open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) >= 45
+        assert all(row["pass"] == "True" for row in rows)

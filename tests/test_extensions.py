@@ -1,0 +1,179 @@
+"""Unit tests for differential encoding, bit-slicing, grouped conv,
+and device presets."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConvLayer,
+    DEVICE_PRESETS,
+    PIMArray,
+    depthwise_mapping,
+    grouped_mapping,
+    preset,
+)
+from repro.core.types import ConfigurationError, MappingError
+from repro.pim import (
+    DifferentialCrossbar,
+    PIMEngine,
+    conv2d_reference,
+    effective_array,
+    slice_weights,
+    sliced_column_factor,
+    sliced_mvm,
+)
+from repro.search import vwsdk_solution
+
+
+class TestDifferentialCrossbar:
+    def test_conductances_non_negative(self, rng):
+        xbar = DifferentialCrossbar(PIMArray(8, 8))
+        xbar.program(rng.normal(size=(8, 4)))
+        assert (xbar.conductances >= 0).all()
+
+    def test_signed_mvm_exact(self, rng):
+        w = rng.integers(-5, 6, (6, 3)).astype(float)
+        x = rng.integers(-5, 6, 6).astype(float)
+        xbar = DifferentialCrossbar(PIMArray(6, 6))
+        xbar.program(w)
+        np.testing.assert_array_equal(xbar.compute(x), x @ w)
+
+    def test_column_budget_halved(self):
+        xbar = DifferentialCrossbar(PIMArray(8, 6))
+        with pytest.raises(MappingError):
+            xbar.program(np.ones((8, 4)))   # needs 8 physical columns
+
+    def test_effective_array(self):
+        assert effective_array(PIMArray(512, 512)) == PIMArray(512, 256)
+
+    def test_effective_array_needs_two_columns(self):
+        with pytest.raises(ConfigurationError):
+            effective_array(PIMArray(8, 1))
+
+    def test_end_to_end_with_engine(self, rng):
+        layer = ConvLayer.square(8, 3, 4, 6)
+        physical = PIMArray(64, 64)
+        sol = vwsdk_solution(layer, effective_array(physical))
+        ifm = rng.integers(-4, 5, (4, 8, 8)).astype(float)
+        k = rng.integers(-4, 5, (6, 4, 3, 3)).astype(float)
+        result = PIMEngine(crossbar=DifferentialCrossbar(physical)).run(
+            sol, ifm, k)
+        np.testing.assert_array_equal(result.ofm, conv2d_reference(ifm, k))
+        assert result.cycles == sol.cycles
+
+    def test_differential_costs_cycles(self, rng):
+        # Halving usable columns can increase AC cycles — the price of
+        # signed weights on unipolar devices.
+        layer = ConvLayer.square(12, 3, 16, 60)
+        physical = PIMArray(256, 64)
+        plain = vwsdk_solution(layer, physical).cycles
+        signed = vwsdk_solution(layer, effective_array(physical)).cycles
+        assert signed >= plain
+
+    def test_compute_before_program(self):
+        with pytest.raises(MappingError):
+            DifferentialCrossbar(PIMArray(4, 4)).compute(np.ones(2))
+
+
+class TestBitSlicing:
+    def test_factor(self):
+        assert sliced_column_factor(8, 2) == 4
+        assert sliced_column_factor(8, 3) == 3
+        assert sliced_column_factor(1, 1) == 1
+
+    def test_slice_roundtrip_values(self):
+        w = np.array([[5], [-3]])
+        sliced, signs, n = slice_weights(w, weight_bits=3, cell_bits=1)
+        assert n == 3
+        rebuilt = sum(sliced[:, s] * (1 << s) for s in range(3))
+        np.testing.assert_array_equal(rebuilt, np.abs(w[:, 0]))
+
+    def test_cells_bounded_by_cell_bits(self, rng):
+        w = rng.integers(0, 128, (10, 4))
+        sliced, _, _ = slice_weights(w, weight_bits=7, cell_bits=2)
+        assert sliced.max() <= 3
+
+    def test_sliced_mvm_exact(self, rng):
+        w = rng.integers(-127, 128, (24, 8))
+        x = rng.integers(-15, 16, 24)
+        np.testing.assert_array_equal(sliced_mvm(w, x, 8, 2), x @ w)
+
+    def test_sliced_mvm_single_bit_cells(self, rng):
+        w = rng.integers(-7, 8, (12, 5))
+        x = rng.integers(-3, 4, 12)
+        np.testing.assert_array_equal(sliced_mvm(w, x, 4, 1), x @ w)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ConfigurationError):
+            slice_weights(np.array([[300]]), weight_bits=8, cell_bits=2)
+
+    def test_float_weights_rejected(self):
+        with pytest.raises(ConfigurationError):
+            slice_weights(np.array([[1.5]]), weight_bits=8, cell_bits=2)
+
+
+class TestGroupedConv:
+    def test_channels_must_divide(self):
+        with pytest.raises(ConfigurationError):
+            grouped_mapping(14, 3, 60, 64, groups=8,
+                            array=PIMArray.square(512))
+
+    def test_groups_one_matches_plain(self):
+        arr = PIMArray.square(512)
+        m = grouped_mapping(14, 3, 64, 64, groups=1, array=arr)
+        plain = vwsdk_solution(ConvLayer.square(14, 3, 64, 64), arr)
+        assert m.cycles == plain.cycles
+
+    def test_packed_never_worse_than_sequential(self):
+        arr = PIMArray.square(512)
+        for groups in (2, 4, 8, 16):
+            m = grouped_mapping(16, 3, 32, 32, groups=groups, array=arr)
+            assert m.packed_cycles <= m.sequential_cycles
+
+    def test_depthwise_is_group_per_channel(self):
+        m = depthwise_mapping(14, 3, 64, PIMArray.square(512))
+        assert m.groups == 64
+        assert m.layer.in_channels == 1
+
+    def test_depthwise_packing_essential(self):
+        m = depthwise_mapping(14, 3, 64, PIMArray.square(512))
+        assert m.packing_speedup >= 2.0
+
+    def test_joint_search_beats_naive_packing(self):
+        arr = PIMArray.square(512)
+        joint = grouped_mapping(14, 3, 64, 64, groups=64, array=arr,
+                                optimize_packing=True)
+        naive = grouped_mapping(14, 3, 64, 64, groups=64, array=arr,
+                                optimize_packing=False)
+        assert joint.packed_cycles <= naive.packed_cycles
+
+    def test_vw_beats_im2col_on_depthwise(self):
+        arr = PIMArray.square(512)
+        vw = depthwise_mapping(14, 3, 64, arr, scheme="vw-sdk")
+        im = depthwise_mapping(14, 3, 64, arr, scheme="im2col")
+        assert vw.cycles < im.cycles
+
+
+class TestDevicePresets:
+    def test_known_presets(self):
+        assert set(DEVICE_PRESETS) == {"rram-isaac", "rram-lite",
+                                       "sram-cim"}
+
+    def test_preset_lookup(self):
+        assert preset("rram-isaac").adc_energy_pj == 2.0
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="unknown device preset"):
+            preset("quantum")
+
+    def test_sram_faster_than_rram(self):
+        assert (preset("sram-cim").cycle_time_ns
+                < preset("rram-isaac").cycle_time_ns)
+
+    def test_presets_usable_in_cost_model(self):
+        from repro import cost_report
+        sol = vwsdk_solution(ConvLayer.square(14, 3, 256, 256),
+                             PIMArray.square(512))
+        for name in DEVICE_PRESETS:
+            rep = cost_report(sol, preset(name))
+            assert rep.total_energy_nj > 0

@@ -1,0 +1,137 @@
+"""Unit tests for ConvLayer geometry."""
+
+import pytest
+
+from repro import ConfigurationError, ConvLayer
+
+
+class TestConstruction:
+    def test_square_constructor(self):
+        layer = ConvLayer.square(56, 3, 128, 256)
+        assert (layer.ifm_h, layer.ifm_w) == (56, 56)
+        assert (layer.kernel_h, layer.kernel_w) == (3, 3)
+        assert (layer.in_channels, layer.out_channels) == (128, 256)
+
+    def test_rectangular_layer(self):
+        layer = ConvLayer(ifm_h=9, ifm_w=12, kernel_h=2, kernel_w=4,
+                          in_channels=3, out_channels=5)
+        assert layer.ofm_h == 8
+        assert layer.ofm_w == 9
+
+    def test_defaults(self):
+        layer = ConvLayer.square(8, 3, 1, 1)
+        assert layer.stride == 1
+        assert layer.padding == 0
+        assert layer.repeats == 1
+
+    def test_kernel_larger_than_ifm_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConvLayer.square(2, 3, 1, 1)
+
+    def test_kernel_larger_than_ifm_ok_with_padding(self):
+        layer = ConvLayer.square(2, 3, 1, 1, padding=1)
+        assert layer.ofm_h == 2
+
+    def test_zero_channels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConvLayer.square(8, 3, 0, 4)
+
+    def test_negative_padding_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConvLayer.square(8, 3, 1, 1, padding=-1)
+
+    def test_frozen(self):
+        layer = ConvLayer.square(8, 3, 1, 1)
+        with pytest.raises(AttributeError):
+            layer.ifm_h = 10
+
+
+class TestGeometry:
+    def test_ofm_stride1(self):
+        layer = ConvLayer.square(14, 3, 1, 1)
+        assert (layer.ofm_h, layer.ofm_w) == (12, 12)
+        assert layer.num_windows == 144
+
+    def test_ofm_stride2(self):
+        layer = ConvLayer.square(224, 7, 3, 64, stride=2, padding=3)
+        assert (layer.ofm_h, layer.ofm_w) == (112, 112)
+
+    def test_ofm_stride2_no_padding(self):
+        layer = ConvLayer.square(8, 2, 1, 1, stride=2)
+        assert layer.ofm_h == 4
+
+    def test_padded_dims(self):
+        layer = ConvLayer.square(8, 3, 1, 1, padding=2)
+        assert layer.padded_ifm_h == 12
+
+    def test_kernel_area(self):
+        assert ConvLayer.square(8, 3, 1, 1).kernel_area == 9
+
+    def test_im2col_rows(self):
+        assert ConvLayer.square(7, 3, 512, 512).im2col_rows == 4608
+
+    def test_weight_count(self):
+        layer = ConvLayer.square(8, 3, 4, 5)
+        assert layer.weight_count == 9 * 4 * 5
+
+    def test_macs(self):
+        layer = ConvLayer.square(5, 3, 2, 3)
+        assert layer.macs == layer.weight_count * 9
+
+
+class TestFolding:
+    def test_fold_identity_for_plain_layer(self):
+        layer = ConvLayer.square(14, 3, 8, 8)
+        assert layer.folded() is layer
+
+    def test_fold_resnet_stem(self):
+        stem = ConvLayer.square(224, 7, 3, 64, stride=2, padding=3)
+        folded = stem.folded()
+        # The paper lists the stem as a stride-1 layer on 112+6=118?  No:
+        # OFM is 112, so folded IFM = 112 + 7 - 1 = 118.
+        assert folded.ifm_h == 118
+        assert folded.stride == 1
+        assert folded.padding == 0
+        assert folded.num_windows == stem.num_windows
+
+    def test_fold_preserves_window_count(self):
+        layer = ConvLayer.square(56, 3, 64, 128, stride=2, padding=1)
+        assert layer.folded().num_windows == layer.num_windows
+
+    def test_fold_preserves_channels(self):
+        layer = ConvLayer.square(56, 3, 64, 128, stride=2, padding=1)
+        folded = layer.folded()
+        assert folded.in_channels == 64
+        assert folded.out_channels == 128
+
+
+class TestPresentation:
+    def test_shape_str(self):
+        assert ConvLayer.square(56, 3, 128, 256).shape_str == "3x3x128x256"
+
+    def test_describe_plain(self):
+        text = ConvLayer.square(56, 3, 128, 256, name="conv5").describe()
+        assert "conv5" in text
+        assert "56x56" in text
+
+    def test_describe_shows_stride_and_padding(self):
+        text = ConvLayer.square(56, 3, 64, 64, stride=2, padding=1).describe()
+        assert "s=2" in text
+        assert "p=1" in text
+
+    def test_describe_shows_repeats(self):
+        text = ConvLayer.square(56, 3, 64, 64, repeats=4).describe()
+        assert "x4" in text
+
+    def test_with_name(self):
+        layer = ConvLayer.square(8, 3, 1, 1).with_name("stem")
+        assert layer.name == "stem"
+
+    def test_with_repeats(self):
+        layer = ConvLayer.square(8, 3, 1, 1).with_repeats(3)
+        assert layer.repeats == 3
+
+    def test_name_not_part_of_equality(self):
+        a = ConvLayer.square(8, 3, 1, 1, name="a")
+        b = ConvLayer.square(8, 3, 1, 1, name="b")
+        assert a == b

@@ -1,0 +1,162 @@
+"""Unit tests for mapping-plan construction and validation."""
+
+import numpy as np
+import pytest
+
+from repro import ConvLayer, MappingError, PIMArray
+from repro.mapping import build_plan, build_smd_plan, render_plan
+from repro.search import solve
+
+
+def _plan_for(scheme, layer, arr):
+    return build_plan(solve(layer, arr, scheme))
+
+
+class TestPlanStructure:
+    def test_grid_matches_breakdown(self, resnet_l4, array512):
+        sol = solve(resnet_l4, array512, "vw-sdk")
+        plan = build_plan(sol)
+        assert plan.ar_tiles == sol.breakdown.ar
+        assert plan.ac_tiles == sol.breakdown.ac
+
+    def test_total_cycles_matches_solution(self, resnet_l4, array512):
+        for scheme in ("im2col", "sdk", "vw-sdk"):
+            sol = solve(resnet_l4, array512, scheme)
+            assert build_plan(sol).total_cycles == sol.cycles
+
+    def test_positions_match_npw(self, resnet_l4, array512):
+        sol = solve(resnet_l4, array512, "vw-sdk")
+        plan = build_plan(sol)
+        assert len(plan.origins) == sol.breakdown.n_pw
+
+    def test_origins_inside_ifm(self, resnet_l4, array512):
+        sol = solve(resnet_l4, array512, "vw-sdk")
+        plan = build_plan(sol)
+        for oy, ox in plan.origins:
+            assert 0 <= oy <= resnet_l4.ifm_h - plan.window.h
+            assert 0 <= ox <= resnet_l4.ifm_w - plan.window.w
+
+    def test_tiles_fit_array(self, vgg_l5, array512):
+        plan = _plan_for("vw-sdk", vgg_l5, array512)
+        for row in plan.tiles:
+            for tile in row:
+                assert tile.rows_used <= array512.rows
+                assert tile.cols_used <= array512.cols
+
+    def test_validate_passes_all_schemes(self, resnet_l4, array512):
+        for scheme in ("im2col", "sdk", "vw-sdk"):
+            _plan_for(scheme, resnet_l4, array512).validate()
+
+    def test_whole_channel_tiles_partition_ic(self, vgg_l5, array512):
+        plan = _plan_for("vw-sdk", vgg_l5, array512)
+        slices = [row[0].channel_slice for row in plan.tiles]
+        assert slices[0][0] == 0
+        assert slices[-1][1] == vgg_l5.in_channels
+        for (a, b), (c, d) in zip(slices[:-1], slices[1:]):
+            assert b == c
+
+    def test_fine_grained_rows_cover_im2col_matrix(self, array512):
+        layer = ConvLayer.square(7, 3, 512, 512)
+        plan = _plan_for("im2col", layer, array512)
+        total_rows = sum(row[0].rows_used for row in plan.tiles)
+        assert total_rows == layer.im2col_rows
+
+
+class TestWeights:
+    def test_im2col_weights_are_flattened_kernel(self):
+        layer = ConvLayer.square(5, 3, 2, 3)
+        arr = PIMArray(32, 8)
+        plan = _plan_for("im2col", layer, arr)
+        kernel = np.arange(layer.weight_count, dtype=float).reshape(
+            layer.out_channels, layer.in_channels, 3, 3)
+        weights, mask = plan.tiles[0][0].build_weights(kernel, layer)
+        assert mask.all()           # im2col: every cell in the tile used
+        expected = kernel.reshape(layer.out_channels, -1).T
+        np.testing.assert_array_equal(weights, expected)
+
+    def test_vw_weights_shifted_copies(self):
+        layer = ConvLayer.square(6, 3, 1, 1)
+        arr = PIMArray(16, 4)
+        sol = solve(layer, arr, "vw-sdk")
+        plan = build_plan(sol)
+        kernel = np.arange(9, dtype=float).reshape(1, 1, 3, 3)
+        tile = plan.tiles[0][0]
+        weights, mask = tile.build_weights(kernel, layer)
+        # Every column must contain each kernel weight exactly once.
+        assert (mask.sum(axis=0) == 9).all()
+        col_sums = weights.sum(axis=0)
+        np.testing.assert_allclose(col_sums, kernel.sum())
+
+    def test_used_cells_matches_mask(self, resnet_l4, array512):
+        plan = _plan_for("vw-sdk", resnet_l4, array512)
+        kernel = np.ones((resnet_l4.out_channels, resnet_l4.in_channels,
+                          3, 3))
+        tile = plan.tiles[0][0]
+        _, mask = tile.build_weights(kernel, resnet_l4)
+        assert tile.used_cells(resnet_l4) == int(mask.sum())
+
+    def test_mask_footprint_per_column(self, vgg_l5, array512):
+        plan = _plan_for("vw-sdk", vgg_l5, array512)
+        tile = plan.tiles[0][0]   # full 42-channel tile
+        kernel = np.ones((vgg_l5.out_channels, vgg_l5.in_channels, 3, 3))
+        _, mask = tile.build_weights(kernel, vgg_l5)
+        assert (mask.sum(axis=0) == 9 * 42).all()
+
+
+class TestSMDPlan:
+    def test_cycles_match(self):
+        layer = ConvLayer.square(8, 3, 3, 8)
+        sol = solve(layer, PIMArray(128, 64), "smd")
+        plan = build_smd_plan(sol)
+        assert plan.total_cycles == sol.cycles
+
+    def test_groups_cover_all_windows(self):
+        layer = ConvLayer.square(8, 3, 3, 8)
+        sol = solve(layer, PIMArray(128, 64), "smd")
+        plan = build_smd_plan(sol)
+        seen = {w for group in plan.window_groups for w in group}
+        assert seen == set(range(layer.num_windows))
+
+    def test_block_diagonal_weights(self):
+        layer = ConvLayer.square(8, 3, 3, 8)
+        sol = solve(layer, PIMArray(128, 64), "smd")
+        plan = build_smd_plan(sol)
+        kernel = np.ones((8, 3, 3, 3))
+        weights, mask = plan.build_weights(kernel)
+        assert weights.shape == (4 * 27, 4 * 8)
+        # Off-diagonal blocks are empty.
+        assert weights[0:27, 8:].sum() == 0
+        assert mask[0:27, 0:8].all()
+
+    def test_rejects_non_smd_solution(self, resnet_l4, array512):
+        with pytest.raises(MappingError):
+            build_smd_plan(solve(resnet_l4, array512, "vw-sdk"))
+
+    def test_build_plan_rejects_duplicated_smd(self):
+        layer = ConvLayer.square(8, 3, 3, 8)
+        sol = solve(layer, PIMArray(128, 64), "smd")
+        with pytest.raises(MappingError):
+            build_plan(sol)
+
+
+class TestAsciiArt:
+    def test_render_small_plan(self):
+        layer = ConvLayer.square(6, 3, 2, 2)
+        plan = _plan_for("vw-sdk", layer, PIMArray(40, 24))
+        text = render_plan(plan)
+        assert "vw-sdk layout" in text
+        assert "." in text    # idle cells visible
+
+    def test_render_too_large_tile_raises(self, vgg_l5, array512):
+        from repro.mapping import render_tile
+        plan = _plan_for("vw-sdk", vgg_l5, array512)
+        with pytest.raises(MappingError):
+            render_tile(plan, plan.tiles[0][0])
+
+    def test_render_im2col_has_no_idle_cells(self):
+        layer = ConvLayer.square(5, 3, 2, 2)
+        plan = _plan_for("im2col", layer, PIMArray(32, 8))
+        body = render_plan(plan).splitlines()
+        cell_lines = [ln for ln in body if ln.strip().startswith("c")]
+        assert cell_lines
+        assert not any("." in ln.split()[-1] for ln in cell_lines)

@@ -1,0 +1,97 @@
+"""Tests for JSON network loading/saving and the CLI --file path."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.types import ConfigurationError
+from repro.networks import (
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    resnet18_full,
+    save_network,
+    vgg13,
+)
+
+
+SPEC = {
+    "name": "EdgeNet",
+    "layers": [
+        {"ifm": 32, "kernel": 3, "ic": 3, "oc": 16, "stride": 2,
+         "padding": 1, "name": "stem"},
+        {"ifm": 16, "kernel": 3, "ic": 16, "oc": 32, "padding": 1,
+         "repeats": 2},
+        {"ifm": [8, 12], "kernel": [1, 3], "ic": 32, "oc": 32},
+    ],
+}
+
+
+class TestFromDict:
+    def test_basic(self):
+        net = network_from_dict(SPEC)
+        assert net.name == "EdgeNet"
+        assert len(net) == 3
+        assert net[0].stride == 2
+        assert net[1].repeats == 2
+
+    def test_pair_dimensions(self):
+        net = network_from_dict(SPEC)
+        assert (net[2].ifm_h, net[2].ifm_w) == (8, 12)
+        assert (net[2].kernel_h, net[2].kernel_w) == (1, 3)
+
+    def test_autonames_unnamed(self):
+        net = network_from_dict(SPEC)
+        assert net[1].name == "conv2"
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(ConfigurationError, match="missing keys"):
+            network_from_dict({"layers": [{"ifm": 8, "kernel": 3}]})
+
+    def test_empty_layers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            network_from_dict({"layers": []})
+
+    def test_bad_pair_rejected(self):
+        bad = {"layers": [{"ifm": [1, 2, 3], "kernel": 3, "ic": 1,
+                           "oc": 1}]}
+        with pytest.raises(ConfigurationError):
+            network_from_dict(bad)
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self):
+        net = network_from_dict(SPEC)
+        again = network_from_dict(network_to_dict(net))
+        assert list(again) == list(net)
+
+    def test_file_roundtrip(self, tmp_path):
+        path = save_network(vgg13(), tmp_path / "vgg13.json")
+        loaded = load_network(path)
+        assert list(loaded) == list(vgg13())
+
+    def test_strided_network_roundtrip(self, tmp_path):
+        path = save_network(resnet18_full(), tmp_path / "rn.json")
+        loaded = load_network(path)
+        assert list(loaded) == list(resnet18_full())
+
+    def test_invalid_json_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="invalid network"):
+            load_network(bad)
+
+
+class TestCliFile:
+    def test_network_from_file(self, tmp_path, capsys):
+        path = tmp_path / "net.json"
+        path.write_text(json.dumps(SPEC))
+        assert main(["network", "--file", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "EdgeNet" in out
+        assert "vw-sdk" in out
+
+    def test_network_requires_name_or_file(self):
+        with pytest.raises(SystemExit):
+            main(["network"])

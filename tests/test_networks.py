@@ -1,0 +1,160 @@
+"""Unit tests for the model zoo and network-level analysis."""
+
+import pytest
+
+from repro import ConvLayer, PIMArray
+from repro.networks import (
+    Network,
+    alexnet,
+    compare_schemes,
+    get_network,
+    map_network,
+    resnet18,
+    resnet18_full,
+    vgg11,
+    vgg13,
+    vgg16,
+    vgg19,
+)
+
+
+class TestZooShapes:
+    def test_vgg13_matches_table1(self):
+        net = vgg13()
+        assert len(net) == 10
+        shapes = [(l.ifm_h, l.shape_str) for l in net]
+        assert shapes[0] == (224, "3x3x3x64")
+        assert shapes[4] == (56, "3x3x128x256")
+        assert shapes[9] == (14, "3x3x512x512")
+
+    def test_resnet18_matches_table1(self):
+        net = resnet18()
+        assert len(net) == 5
+        assert net[0].shape_str == "7x7x3x64"
+        assert net[0].ifm_h == 112
+        assert net[4].ifm_h == 7
+
+    def test_vgg_variant_conv_counts(self):
+        assert len(vgg11()) == 8
+        assert len(vgg16()) == 13
+        assert len(vgg19()) == 16
+
+    def test_vgg16_stage_channels(self):
+        channels = [l.out_channels for l in vgg16()]
+        assert channels == [64, 64, 128, 128, 256, 256, 256,
+                            512, 512, 512, 512, 512, 512]
+
+    def test_alexnet_first_layer(self):
+        net = alexnet()
+        assert net[0].kernel_h == 11
+        assert net[0].out_channels == 96
+
+    def test_resnet18_full_has_strides(self):
+        net = resnet18_full()
+        assert any(l.stride == 2 for l in net)
+        assert any(l.repeats > 1 for l in net)
+
+    def test_resnet18_full_folds_to_paper_shapes(self):
+        folded = resnet18_full().folded()
+        assert all(l.stride == 1 and l.padding == 0 for l in folded)
+        stem = folded[0]
+        assert stem.num_windows == 112 * 112
+
+    def test_get_network_by_name(self):
+        assert get_network("VGG13").name == "VGG-13"
+        assert get_network("resnet18").name == "Resnet-18"
+
+    def test_get_network_unknown(self):
+        with pytest.raises(ValueError, match="unknown network"):
+            get_network("lenet")
+
+
+class TestNetworkContainer:
+    def test_iteration_and_indexing(self):
+        net = vgg13()
+        assert net[0] is list(net)[0]
+
+    def test_from_layers_autonames(self):
+        net = Network.from_layers("tiny", [ConvLayer.square(8, 3, 1, 2),
+                                           ConvLayer.square(6, 3, 2, 4)])
+        assert net[0].name == "conv1"
+        assert net[1].name == "conv2"
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(Exception):
+            Network(name="empty", layers=())
+
+    def test_totals(self):
+        net = Network.from_layers("tiny", [ConvLayer.square(8, 3, 2, 4)])
+        assert net.total_weights == 9 * 2 * 4
+        assert net.total_macs == net.total_weights * 36
+
+    def test_scaled_input(self):
+        net = vgg13().scaled_input(2)
+        assert net[0].ifm_h == 448
+        assert "x2" in net.name
+
+    def test_describe(self):
+        text = vgg13().describe()
+        assert "VGG-13" in text
+        assert "conv1" in text
+
+
+class TestAnalysis:
+    def test_resnet_totals(self, array512):
+        rep = map_network(resnet18(), array512, "vw-sdk")
+        assert rep.total_cycles == 4294
+
+    def test_vgg_totals(self, array512):
+        rep = map_network(vgg13(), array512, "vw-sdk")
+        assert rep.total_cycles == 77102
+
+    def test_speedups(self, array512):
+        reports = compare_schemes(resnet18(), array512)
+        vw = reports["vw-sdk"]
+        assert vw.speedup_over(reports["im2col"]) == pytest.approx(4.67,
+                                                                   abs=0.01)
+        assert vw.speedup_over(reports["sdk"]) == pytest.approx(1.69,
+                                                                abs=0.01)
+
+    def test_layer_speedups_length(self, array512):
+        reports = compare_schemes(resnet18(), array512)
+        per_layer = reports["vw-sdk"].layer_speedups_over(reports["im2col"])
+        assert len(per_layer) == 5
+        assert per_layer[0] == pytest.approx(11236 / 1431)
+
+    def test_speedup_requires_same_network(self, array512):
+        a = map_network(resnet18(), array512, "vw-sdk")
+        b = map_network(vgg13(), array512, "vw-sdk")
+        with pytest.raises(ValueError):
+            a.speedup_over(b)
+
+    def test_weighted_cycles_uses_repeats(self, array512):
+        net = Network.from_layers(
+            "rep", [ConvLayer.square(14, 3, 64, 64, repeats=3)])
+        rep = map_network(net, array512, "vw-sdk")
+        assert rep.weighted_cycles == 3 * rep.total_cycles
+
+    def test_rows_structure(self, array512):
+        rep = map_network(resnet18(), array512, "vw-sdk")
+        rows = rep.rows()
+        assert len(rows) == 5
+        assert rows[3]["window"] == "4x3"
+        assert rows[3]["cycles"] == 504
+
+    def test_utilizations_per_layer(self, array512):
+        rep = map_network(resnet18(), array512, "vw-sdk")
+        utils = rep.utilizations()
+        assert len(utils) == 5
+        assert all(0 < u.mean_pct <= 100 for u in utils)
+
+    def test_total_energy_positive(self, array512):
+        rep = map_network(resnet18(), array512, "vw-sdk")
+        assert rep.total_energy_nj() > 0
+
+    def test_full_resnet_mappable_when_folded(self, array512):
+        folded = resnet18_full().folded()
+        rep = map_network(folded, array512, "vw-sdk")
+        assert rep.total_cycles > 0
+        base = map_network(folded, array512, "im2col")
+        assert rep.total_cycles < base.total_cycles

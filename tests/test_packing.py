@@ -1,0 +1,93 @@
+"""Unit tests for tile packing onto shared crossbars."""
+
+import pytest
+
+from repro import ConvLayer, MappingError, PIMArray
+from repro.chip import PackingResult, TileRequest, pack_network, pack_tiles
+from repro.chip.allocation import residency_arrays
+from repro.networks import resnet18, vgg13
+from repro.search import solve
+
+
+def _tiles(*dims):
+    return [TileRequest(f"t{i}", r, c) for i, (r, c) in enumerate(dims)]
+
+
+class TestPackTiles:
+    def test_four_quadrants_fit_one_array(self):
+        result = pack_tiles(_tiles((4, 4), (4, 4), (4, 4), (4, 4)),
+                            PIMArray(8, 8))
+        assert result.arrays_used == 1
+        result.validate()
+
+    def test_overflow_spills_to_second_array(self):
+        result = pack_tiles(_tiles((8, 8), (8, 8)), PIMArray(8, 8))
+        assert result.arrays_used == 2
+
+    def test_shelves_stack_vertically(self):
+        result = pack_tiles(_tiles((4, 8), (4, 8)), PIMArray(8, 8))
+        assert result.arrays_used == 1
+        rows = sorted(p.row_offset for p in result.placements)
+        assert rows == [0, 4]
+
+    def test_tile_larger_than_array_rejected(self):
+        with pytest.raises(MappingError):
+            pack_tiles(_tiles((9, 2)), PIMArray(8, 8))
+
+    def test_degenerate_tile_rejected(self):
+        with pytest.raises(MappingError):
+            TileRequest("bad", 0, 4)
+
+    def test_occupancy(self):
+        result = pack_tiles(_tiles((8, 4), (8, 4)), PIMArray(8, 8))
+        assert result.occupancy_pct == pytest.approx(100.0)
+
+    def test_validate_catches_overlap(self):
+        from repro.chip.packing import Placement
+        tile = TileRequest("t", 4, 4)
+        bad = PackingResult(
+            array=PIMArray(8, 8),
+            placements=(
+                Placement(tile, 0, 0, 0),
+                Placement(tile, 0, 2, 2),   # overlaps the first
+            ))
+        with pytest.raises(MappingError):
+            bad.validate()
+
+    def test_row_disjoint_column_overlap_allowed(self):
+        # Same columns, different rows: legal (time-multiplexed reads).
+        from repro.chip.packing import Placement
+        tile = TileRequest("t", 4, 8)
+        ok = PackingResult(
+            array=PIMArray(8, 8),
+            placements=(Placement(tile, 0, 0, 0), Placement(tile, 0, 4, 0)))
+        ok.validate()
+
+    def test_mixed_sizes_deterministic(self):
+        tiles = _tiles((6, 3), (2, 8), (4, 4), (3, 3), (5, 2))
+        a = pack_tiles(tiles, PIMArray(8, 8))
+        b = pack_tiles(tiles, PIMArray(8, 8))
+        assert a.placements == b.placements
+
+
+class TestPackNetwork:
+    def test_resnet_beats_naive_floor(self, array512):
+        naive = sum(residency_arrays(solve(layer, array512, "vw-sdk"))
+                    for layer in resnet18())
+        packed = pack_network(resnet18(), array512)
+        assert packed.arrays_used <= naive
+        packed.validate()
+
+    def test_vgg_packs_many_tiles(self, array512):
+        packed = pack_network(vgg13(), array512)
+        assert packed.arrays_used >= 1
+        assert packed.occupancy_pct > 25.0
+
+    def test_repeats_multiply_tiles(self, array512):
+        from repro.networks import Network
+        base = Network.from_layers("b", [ConvLayer.square(14, 3, 64, 64)])
+        tripled = Network.from_layers(
+            "t", [ConvLayer.square(14, 3, 64, 64, repeats=3)])
+        p1 = pack_network(base, array512)
+        p3 = pack_network(tripled, array512)
+        assert len(p3.placements) == 3 * len(p1.placements)

@@ -1,0 +1,158 @@
+"""Regression lock on every number the paper prints.
+
+If any of these fail, the reproduction has drifted from the paper.
+DESIGN.md section 2 documents how each value was derived.
+"""
+
+import pytest
+
+from repro import ConvLayer, PIMArray, compare_schemes, resnet18, vgg13
+from repro.core.utilization import utilization_report
+from repro.search import solve
+
+
+@pytest.fixture(scope="module")
+def vgg_reports():
+    return compare_schemes(vgg13(), PIMArray.square(512))
+
+
+@pytest.fixture(scope="module")
+def resnet_reports():
+    return compare_schemes(resnet18(), PIMArray.square(512))
+
+
+class TestHeadlineNumbers:
+    """Abstract + Section V claims."""
+
+    def test_vgg13_totals(self, vgg_reports):
+        assert vgg_reports["im2col"].total_cycles == 243736
+        assert vgg_reports["sdk"].total_cycles == 114697
+        assert vgg_reports["vw-sdk"].total_cycles == 77102
+
+    def test_resnet18_totals(self, resnet_reports):
+        assert resnet_reports["im2col"].total_cycles == 20041
+        assert resnet_reports["sdk"].total_cycles == 7240
+        assert resnet_reports["vw-sdk"].total_cycles == 4294
+
+    def test_abstract_speedup_169(self, resnet_reports):
+        speedup = resnet_reports["vw-sdk"].speedup_over(
+            resnet_reports["sdk"])
+        assert round(speedup, 2) == 1.69
+
+    def test_abstract_speedup_467(self, resnet_reports):
+        speedup = resnet_reports["vw-sdk"].speedup_over(
+            resnet_reports["im2col"])
+        assert round(speedup, 2) == 4.67
+
+    def test_vgg_speedups_316_149(self, vgg_reports):
+        vs_im = vgg_reports["vw-sdk"].speedup_over(vgg_reports["im2col"])
+        vs_sdk = vgg_reports["vw-sdk"].speedup_over(vgg_reports["sdk"])
+        assert round(vs_im, 2) == 3.16
+        assert round(vs_sdk, 2) == 1.49
+
+
+class TestPerLayerCycles:
+    """Every per-layer cycle count behind Table I's totals."""
+
+    VGG_SDK = [12321, 24642, 6050, 36300, 8748, 14580, 3380, 6084, 1296,
+               1296]
+    VGG_VW = [6216, 24642, 6050, 12100, 5832, 10206, 3380, 6084, 1296,
+              1296]
+    VGG_IM = [49284, 98568, 24200, 36300, 8748, 14580, 3380, 6084, 1296,
+              1296]
+    RESNET_SDK = [2809, 1458, 2028, 720, 225]
+    RESNET_VW = [1431, 1458, 676, 504, 225]
+    RESNET_IM = [11236, 5832, 2028, 720, 225]
+
+    def test_vgg_layer_cycles(self, vgg_reports):
+        for scheme, expected in (("sdk", self.VGG_SDK),
+                                 ("vw-sdk", self.VGG_VW),
+                                 ("im2col", self.VGG_IM)):
+            measured = [s.cycles for s in vgg_reports[scheme].solutions]
+            assert measured == expected, scheme
+
+    def test_resnet_layer_cycles(self, resnet_reports):
+        for scheme, expected in (("sdk", self.RESNET_SDK),
+                                 ("vw-sdk", self.RESNET_VW),
+                                 ("im2col", self.RESNET_IM)):
+            measured = [s.cycles for s in resnet_reports[scheme].solutions]
+            assert measured == expected, scheme
+
+
+class TestWindowShapes:
+    """Every window shape printed in Table I."""
+
+    def test_vgg_vw_windows(self, vgg_reports):
+        windows = [str(s.window) for s in vgg_reports["vw-sdk"].solutions]
+        assert windows == ["10x3", "4x4", "4x4", "4x4", "4x3", "4x3",
+                           "3x3", "3x3", "3x3", "3x3"]
+
+    def test_vgg_sdk_windows(self, vgg_reports):
+        windows = [str(s.window) for s in vgg_reports["sdk"].solutions]
+        assert windows == ["4x4", "4x4", "4x4", "3x3", "3x3", "3x3",
+                           "3x3", "3x3", "3x3", "3x3"]
+
+    def test_resnet_vw_windows(self, resnet_reports):
+        windows = [str(s.window) for s in resnet_reports["vw-sdk"].solutions]
+        assert windows == ["10x8", "4x4", "4x4", "4x3", "3x3"]
+
+    def test_resnet_sdk_windows(self, resnet_reports):
+        windows = [str(s.window) for s in resnet_reports["sdk"].solutions]
+        assert windows == ["8x8", "4x4", "3x3", "3x3", "3x3"]
+
+    def test_tiled_channels_42_and_32(self, resnet_reports):
+        vw = resnet_reports["vw-sdk"].solutions
+        assert vw[1].breakdown.ic_t == 32    # 4x4 window
+        assert vw[3].breakdown.ic_t == 42    # 4x3 window
+
+
+class TestUtilizationClaims:
+    """Section V-B utilization statements."""
+
+    def test_73_8_percent_at_vgg_layer5(self):
+        layer = ConvLayer.square(56, 3, 128, 256)
+        sol = solve(layer, PIMArray.square(512), "vw-sdk")
+        assert utilization_report(sol).peak_pct == pytest.approx(73.8,
+                                                                 abs=0.05)
+
+    def test_sdk_vw_equal_on_layer2_and_3(self, vgg_reports):
+        # "the utilizations of the SDK-based algorithm and VW-SDK are
+        # equal until Layer 3" — layers 2 and 3 share the 4x4 shape.
+        for idx in (1, 2):
+            sdk_u = utilization_report(vgg_reports["sdk"].solutions[idx])
+            vw_u = utilization_report(vgg_reports["vw-sdk"].solutions[idx])
+            assert sdk_u.mean_pct == pytest.approx(vw_u.mean_pct, abs=1e-9)
+
+    def test_vw_beats_baselines_after_layer3(self, vgg_reports):
+        for idx in (3, 4, 5):
+            vw_u = utilization_report(vgg_reports["vw-sdk"].solutions[idx])
+            sdk_u = utilization_report(vgg_reports["sdk"].solutions[idx])
+            im_u = utilization_report(vgg_reports["im2col"].solutions[idx])
+            assert vw_u.peak_pct > sdk_u.peak_pct
+            assert vw_u.peak_pct > im_u.peak_pct
+
+
+class TestFig8bSweep:
+    """Fig. 8(b): total speedups across the five paper arrays."""
+
+    @pytest.mark.parametrize("array_spec", ["128x128", "128x256",
+                                            "256x256", "512x256",
+                                            "512x512"])
+    def test_hierarchy_on_every_array(self, array_spec):
+        array = PIMArray.parse(array_spec)
+        for net in (vgg13(), resnet18()):
+            reports = compare_schemes(net, array)
+            im = reports["im2col"].total_cycles
+            sdk = reports["sdk"].total_cycles
+            vw = reports["vw-sdk"].total_cycles
+            assert vw <= sdk <= im
+
+    def test_speedup_monotone_in_array_area(self):
+        sizes = [PIMArray(128, 128), PIMArray(256, 256), PIMArray(512, 512)]
+        for net in (vgg13(), resnet18()):
+            speedups = []
+            for array in sizes:
+                reports = compare_schemes(net, array)
+                speedups.append(reports["vw-sdk"].speedup_over(
+                    reports["im2col"]))
+            assert speedups == sorted(speedups)

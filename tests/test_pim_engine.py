@@ -1,0 +1,179 @@
+"""Integration tests: the engine's two contracts on every scheme.
+
+1. The OFM equals the direct convolution (exact for integer data).
+2. The executed cycle count equals the analytical model's count.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ConvLayer, MappingError, PIMArray
+from repro.core import CostParams
+from repro.pim import (
+    Crossbar,
+    LinearADC,
+    LognormalNoise,
+    PIMEngine,
+    conv2d_reference,
+)
+from repro.search import solve
+from tests.conftest import random_layer_inputs
+
+SCHEMES = ("im2col", "smd", "sdk", "vw-sdk")
+
+CASES = [
+    (ConvLayer.square(8, 3, 4, 6), PIMArray(64, 32)),
+    (ConvLayer.square(10, 3, 7, 5), PIMArray(48, 16)),
+    (ConvLayer.square(12, 3, 16, 12), PIMArray(128, 64)),
+    (ConvLayer(ifm_h=9, ifm_w=12, kernel_h=2, kernel_w=4,
+               in_channels=3, out_channels=9), PIMArray(40, 24)),
+    (ConvLayer.square(7, 3, 12, 8), PIMArray(30, 10)),
+    (ConvLayer.square(6, 5, 2, 3), PIMArray(50, 6)),
+    (ConvLayer(ifm_h=11, ifm_w=6, kernel_h=3, kernel_w=3,
+               in_channels=5, out_channels=7), PIMArray(75, 33)),
+]
+
+
+class TestFunctionalEquivalence:
+    @pytest.mark.parametrize("layer,arr", CASES)
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_ofm_matches_reference(self, layer, arr, scheme, rng):
+        ifm, kernel = random_layer_inputs(layer, rng)
+        sol = solve(layer, arr, scheme)
+        result = PIMEngine().run(sol, ifm, kernel)
+        np.testing.assert_array_equal(result.ofm,
+                                      conv2d_reference(ifm, kernel))
+
+    @pytest.mark.parametrize("layer,arr", CASES)
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_cycles_match_analytical(self, layer, arr, scheme, rng):
+        ifm, kernel = random_layer_inputs(layer, rng)
+        sol = solve(layer, arr, scheme)
+        assert PIMEngine().run(sol, ifm, kernel).cycles == sol.cycles
+
+    def test_padded_layer(self, rng):
+        layer = ConvLayer.square(8, 3, 3, 4, padding=1)
+        ifm, kernel = random_layer_inputs(layer, rng)
+        sol = solve(layer, PIMArray(64, 32), "vw-sdk")
+        result = PIMEngine().run(sol, ifm, kernel)
+        np.testing.assert_array_equal(
+            result.ofm, conv2d_reference(ifm, kernel, padding=1))
+
+    def test_real_vgg_layer_downscaled(self, rng):
+        # VGG-13 layer-5 shape at reduced IFM/channels, still tiled.
+        layer = ConvLayer.square(14, 3, 40, 24)
+        arr = PIMArray(128, 64)
+        ifm, kernel = random_layer_inputs(layer, rng, -2, 3)
+        for scheme in SCHEMES:
+            sol = solve(layer, arr, scheme)
+            result = PIMEngine().run(sol, ifm, kernel)
+            np.testing.assert_array_equal(result.ofm,
+                                          conv2d_reference(ifm, kernel))
+
+
+class TestActivityCounters:
+    def test_rows_and_cols_counted(self, rng):
+        layer = ConvLayer.square(8, 3, 4, 6)
+        arr = PIMArray(64, 32)
+        ifm, kernel = random_layer_inputs(layer, rng)
+        sol = solve(layer, arr, "im2col")
+        result = PIMEngine().run(sol, ifm, kernel)
+        assert result.rows_driven == sol.cycles * layer.im2col_rows
+        assert result.cols_read == sol.cycles * layer.out_channels
+
+    def test_active_cells_match_utilization(self, rng):
+        from repro.core.utilization import utilization_report
+        layer = ConvLayer.square(10, 3, 7, 5)
+        arr = PIMArray(48, 16)
+        sol = solve(layer, arr, "vw-sdk")
+        ifm, kernel = random_layer_inputs(layer, rng)
+        result = PIMEngine().run(sol, ifm, kernel)
+        rep = utilization_report(sol)
+        expected = sol.breakdown.n_pw * sum(t.cells_used for t in rep.tiles)
+        assert result.active_cells == expected
+
+    def test_energy_positive_and_latency_scales(self, rng):
+        layer = ConvLayer.square(8, 3, 4, 6)
+        ifm, kernel = random_layer_inputs(layer, rng)
+        sol = solve(layer, PIMArray(64, 32), "vw-sdk")
+        result = PIMEngine().run(sol, ifm, kernel)
+        assert result.energy_nj() > 0
+        fast = result.latency_us(CostParams(cycle_time_ns=10))
+        slow = result.latency_us(CostParams(cycle_time_ns=100))
+        assert slow == pytest.approx(10 * fast)
+
+    def test_programmings_counted(self, rng):
+        layer = ConvLayer.square(10, 3, 7, 5)
+        sol = solve(layer, PIMArray(48, 16), "vw-sdk")
+        ifm, kernel = random_layer_inputs(layer, rng)
+        result = PIMEngine().run(sol, ifm, kernel)
+        assert result.programmings == sol.breakdown.tiles_per_position
+
+    def test_trace_recording(self, rng):
+        layer = ConvLayer.square(8, 3, 4, 6)
+        sol = solve(layer, PIMArray(64, 32), "vw-sdk")
+        ifm, kernel = random_layer_inputs(layer, rng)
+        result = PIMEngine(record_trace=True).run(sol, ifm, kernel)
+        assert result.trace is not None
+        assert result.trace.total_cycles == result.cycles
+        summary = result.trace.summary()
+        assert summary["rows_driven"] == result.rows_driven
+
+    def test_trace_off_by_default(self, rng):
+        layer = ConvLayer.square(8, 3, 4, 6)
+        sol = solve(layer, PIMArray(64, 32), "vw-sdk")
+        ifm, kernel = random_layer_inputs(layer, rng)
+        assert PIMEngine().run(sol, ifm, kernel).trace is None
+
+
+class TestNonIdealExecution:
+    def test_lognormal_noise_perturbs_output(self, rng):
+        layer = ConvLayer.square(8, 3, 4, 6)
+        arr = PIMArray(64, 32)
+        ifm, kernel = random_layer_inputs(layer, rng)
+        sol = solve(layer, arr, "vw-sdk")
+        xbar = Crossbar(arr, noise=LognormalNoise(0.2), seed=3)
+        noisy = PIMEngine(crossbar=xbar).run(sol, ifm, kernel)
+        clean = conv2d_reference(ifm, kernel)
+        assert not np.array_equal(noisy.ofm, clean)
+        # Still correlated with the true output.
+        corr = np.corrcoef(noisy.ofm.ravel(), clean.ravel())[0, 1]
+        assert corr > 0.9
+
+    def test_adc_quantisation_bounded_error(self, rng):
+        layer = ConvLayer.square(8, 3, 2, 3)
+        arr = PIMArray(64, 32)
+        ifm, kernel = random_layer_inputs(layer, rng, -2, 3)
+        sol = solve(layer, arr, "im2col")
+        adc = LinearADC(bits=12, full_scale=512.0)
+        xbar = Crossbar(arr, adc=adc)
+        result = PIMEngine(crossbar=xbar).run(sol, ifm, kernel)
+        clean = conv2d_reference(ifm, kernel)
+        assert np.abs(result.ofm - clean).max() <= adc.step
+
+    def test_engine_rejects_small_crossbar(self, rng):
+        layer = ConvLayer.square(8, 3, 4, 6)
+        sol = solve(layer, PIMArray(64, 32), "vw-sdk")
+        ifm, kernel = random_layer_inputs(layer, rng)
+        with pytest.raises(MappingError):
+            PIMEngine(crossbar=Crossbar(PIMArray(16, 16))).run(
+                sol, ifm, kernel)
+
+
+class TestInputValidation:
+    def test_wrong_ifm_shape(self, rng):
+        layer = ConvLayer.square(8, 3, 4, 6)
+        sol = solve(layer, PIMArray(64, 32), "im2col")
+        with pytest.raises(Exception):
+            PIMEngine().run(sol, np.zeros((4, 9, 8)), np.zeros((6, 4, 3, 3)))
+
+    def test_wrong_kernel_shape(self, rng):
+        layer = ConvLayer.square(8, 3, 4, 6)
+        sol = solve(layer, PIMArray(64, 32), "im2col")
+        with pytest.raises(Exception):
+            PIMEngine().run(sol, np.zeros((4, 8, 8)), np.zeros((6, 4, 3, 2)))
+
+    def test_rejects_unknown_mapping_type(self):
+        with pytest.raises(Exception):
+            PIMEngine().run("not-a-plan", np.zeros((1, 4, 4)),
+                            np.zeros((1, 1, 3, 3)))

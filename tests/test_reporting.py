@@ -1,0 +1,104 @@
+"""Unit tests for the reporting helpers."""
+
+import json
+
+import pytest
+
+from repro.reporting import (
+    Series,
+    format_markdown_table,
+    format_series_table,
+    format_table,
+    series_to_rows,
+    sparkline,
+    write_csv,
+    write_json,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table([{"a": 1, "b": "x"}, {"a": 22, "b": "y"}])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert lines[2].split() == ["1", "x"]
+
+    def test_title(self):
+        text = format_table([{"a": 1}], title="demo")
+        assert text.splitlines()[0] == "demo"
+
+    def test_missing_keys_blank(self):
+        text = format_table([{"a": 1}, {"b": 2}])
+        assert "a" in text and "b" in text
+
+    def test_explicit_column_order(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b", "a"])
+        assert text.splitlines()[0].startswith("b")
+
+    def test_float_formatting(self):
+        text = format_table([{"v": 3.14159}])
+        assert "3.14" in text and "3.1415" not in text
+
+    def test_markdown(self):
+        text = format_markdown_table([{"a": 1, "b": 2}])
+        assert text.splitlines()[0] == "| a | b |"
+        assert "|---|---|" in text
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Series(name="s", x=(1, 2), y=(1.0,))
+
+    def test_format_series_table(self):
+        s1 = Series("a", (1, 2), (1.0, 2.0))
+        s2 = Series("b", (1, 2), (3.0, 4.5))
+        text = format_series_table([s1, s2], x_label="n")
+        assert text.splitlines()[0].split() == ["n", "a", "b"]
+        assert "4.5" in text
+
+    def test_mismatched_x_rejected(self):
+        s1 = Series("a", (1, 2), (1.0, 2.0))
+        s2 = Series("b", (1, 3), (3.0, 4.0))
+        with pytest.raises(ValueError):
+            format_series_table([s1, s2])
+
+    def test_empty_series_list(self):
+        assert format_series_table([]) == ""
+
+    def test_sparkline_shape(self):
+        line = sparkline([0, 1, 2, 3])
+        assert len(line) == 4
+        assert line[0] == " " and line[-1] == "@"
+
+    def test_sparkline_constant(self):
+        assert len(set(sparkline([5, 5, 5]))) == 1
+
+    def test_series_to_rows(self):
+        s = Series("a", (1, 2), (1.0, 2.0))
+        rows = series_to_rows([s])
+        assert rows == [{"x": 1, "a": 1.0}, {"x": 2, "a": 2.0}]
+
+
+class TestExport:
+    def test_write_csv(self, tmp_path):
+        path = write_csv(tmp_path / "out.csv", [{"a": 1, "b": 2}])
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2"
+
+    def test_write_csv_empty(self, tmp_path):
+        path = write_csv(tmp_path / "empty.csv", [])
+        assert path.read_text() == ""
+
+    def test_write_csv_union_of_columns(self, tmp_path):
+        path = write_csv(tmp_path / "u.csv", [{"a": 1}, {"a": 2, "b": 3}])
+        assert path.read_text().splitlines()[0] == "a,b"
+
+    def test_write_json(self, tmp_path):
+        path = write_json(tmp_path / "out.json", {"x": [1, 2]})
+        assert json.loads(path.read_text()) == {"x": [1, 2]}
+
+    def test_write_creates_directories(self, tmp_path):
+        path = write_json(tmp_path / "deep" / "dir" / "o.json", 1)
+        assert path.exists()

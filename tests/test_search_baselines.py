@@ -1,0 +1,130 @@
+"""Unit tests for the im2col and SMD baselines plus the solve dispatcher."""
+
+import pytest
+
+from repro import ConvLayer, PIMArray
+from repro.search import (
+    best_of,
+    enumerate_feasible,
+    im2col_solution,
+    smd_solution,
+    solve,
+)
+from repro.search.smd import smd_duplication
+
+
+class TestIm2col:
+    def test_small_layer_fits(self):
+        layer = ConvLayer.square(8, 3, 4, 4)
+        sol = im2col_solution(layer, PIMArray(64, 16))
+        assert sol.cycles == layer.num_windows
+
+    def test_row_tiling(self):
+        layer = ConvLayer.square(7, 3, 512, 512)
+        sol = im2col_solution(layer, PIMArray.square(512))
+        assert sol.breakdown.ar == 9
+        assert sol.cycles == 225
+
+    def test_column_tiling(self):
+        layer = ConvLayer.square(8, 3, 4, 100)
+        sol = im2col_solution(layer, PIMArray(64, 32))
+        assert sol.breakdown.ac == 4
+
+    def test_window_is_kernel(self):
+        layer = ConvLayer.square(8, 3, 4, 4)
+        sol = im2col_solution(layer, PIMArray(64, 16))
+        assert sol.is_im2col_shaped
+
+    def test_table_cell(self):
+        layer = ConvLayer.square(7, 3, 512, 512)
+        sol = im2col_solution(layer, PIMArray.square(512))
+        assert sol.table_cell == "3x3x512x512"
+
+    def test_always_feasible_on_tiny_array(self):
+        layer = ConvLayer.square(14, 3, 64, 64)
+        sol = im2col_solution(layer, PIMArray(4, 2))
+        assert sol.cycles == 144 * 144 * 32
+        # AR = ceil(576/4) = 144, AC = ceil(64/2) = 32.
+
+
+class TestSMD:
+    def test_duplication_limited_by_columns(self):
+        layer = ConvLayer.square(8, 3, 3, 8)   # 27 rows, 8 cols/copy
+        assert smd_duplication(layer, PIMArray(128, 64)) == 4
+
+    def test_duplication_limited_by_rows(self):
+        layer = ConvLayer.square(8, 3, 3, 2)   # 27 rows/copy
+        assert smd_duplication(layer, PIMArray(60, 512)) == 2
+
+    def test_cycles_divided_by_duplication(self):
+        layer = ConvLayer.square(8, 3, 3, 8)   # 36 windows
+        sol = smd_solution(layer, PIMArray(128, 64))
+        assert sol.duplication == 4
+        assert sol.cycles == 9
+
+    def test_clamped_group_count(self):
+        layer = ConvLayer.square(7, 3, 3, 8)   # 25 windows
+        sol = smd_solution(layer, PIMArray(128, 64))
+        assert sol.duplication == 4
+        assert sol.cycles == 7                 # ceil(25/4)
+
+    def test_fallback_to_im2col(self):
+        layer = ConvLayer.square(14, 3, 256, 256)
+        arr = PIMArray.square(512)
+        assert (smd_solution(layer, arr).cycles
+                == im2col_solution(layer, arr).cycles)
+
+    def test_beats_im2col_when_it_fits(self):
+        layer = ConvLayer.square(8, 3, 3, 8)
+        arr = PIMArray(128, 64)
+        assert smd_solution(layer, arr).cycles < im2col_solution(
+            layer, arr).cycles
+
+    def test_scheme_label(self):
+        layer = ConvLayer.square(8, 3, 3, 8)
+        assert smd_solution(layer, PIMArray(128, 64)).scheme == "smd"
+
+
+class TestSolveDispatcher:
+    def test_all_schemes(self, resnet_l4, array512):
+        for scheme in ("im2col", "smd", "sdk", "vw-sdk"):
+            assert solve(resnet_l4, array512, scheme).scheme == scheme
+
+    def test_unknown_scheme(self, resnet_l4, array512):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            solve(resnet_l4, array512, "magic")
+
+    def test_scheme_ordering_holds(self, resnet_l4, array512):
+        # The paper's hierarchy: vw-sdk <= sdk <= im2col in cycles.
+        im = solve(resnet_l4, array512, "im2col").cycles
+        sdk = solve(resnet_l4, array512, "sdk").cycles
+        vw = solve(resnet_l4, array512, "vw-sdk").cycles
+        assert vw <= sdk <= im
+
+
+class TestResultHelpers:
+    def test_best_of(self, resnet_l4, array512):
+        a = solve(resnet_l4, array512, "im2col")
+        b = solve(resnet_l4, array512, "vw-sdk")
+        assert best_of(a, b) is b
+
+    def test_best_of_requires_solutions(self):
+        with pytest.raises(ValueError):
+            best_of(None, None)
+
+    def test_speedup_requires_same_layer(self, resnet_l4, vgg_l5, array512):
+        a = solve(resnet_l4, array512, "im2col")
+        b = solve(vgg_l5, array512, "im2col")
+        with pytest.raises(ValueError):
+            a.speedup_over(b)
+
+    def test_describe_mentions_key_fields(self, resnet_l4, array512):
+        text = solve(resnet_l4, array512, "vw-sdk").describe()
+        assert "4x3" in text
+        assert "504" in text
+
+    def test_enumerate_feasible_includes_kernel_window(self, resnet_l4,
+                                                       array512):
+        sols = list(enumerate_feasible(resnet_l4, array512))
+        assert any(s.is_im2col_shaped for s in sols)
+        assert len(sols) >= 100

@@ -1,0 +1,136 @@
+"""Unit tests for Algorithm 1 (the VW-SDK search)."""
+
+import pytest
+
+from repro import ConvLayer, PIMArray, ParallelWindow
+from repro.search import (
+    evaluate_window,
+    exhaustive_solution,
+    im2col_solution,
+    vwsdk_solution,
+)
+
+
+class TestTable1Shapes:
+    @pytest.mark.parametrize("ifm,k,ic,oc,window,cycles", [
+        (224, 3, 3, 64, "10x3", 6216),
+        (224, 3, 64, 64, "4x4", 24642),
+        (112, 3, 64, 128, "4x4", 6050),
+        (112, 3, 128, 128, "4x4", 12100),
+        (56, 3, 128, 256, "4x3", 5832),
+        (56, 3, 256, 256, "4x3", 10206),
+        (28, 3, 256, 512, "3x3", 3380),
+        (28, 3, 512, 512, "3x3", 6084),
+        (14, 3, 512, 512, "3x3", 1296),
+        (112, 7, 3, 64, "10x8", 1431),
+        (56, 3, 64, 64, "4x4", 1458),
+        (28, 3, 128, 128, "4x4", 676),
+        (14, 3, 256, 256, "4x3", 504),
+        (7, 3, 512, 512, "3x3", 225),
+    ])
+    def test_window_and_cycles(self, ifm, k, ic, oc, window, cycles):
+        layer = ConvLayer.square(ifm, k, ic, oc)
+        sol = vwsdk_solution(layer, PIMArray.square(512))
+        assert str(sol.window) == window
+        assert sol.cycles == cycles
+
+
+class TestSearchBehaviour:
+    def test_never_worse_than_im2col(self, resnet_l4, array512):
+        sol = vwsdk_solution(resnet_l4, array512)
+        base = im2col_solution(resnet_l4, array512)
+        assert sol.cycles <= base.cycles
+
+    def test_degenerates_to_im2col_when_nothing_helps(self, array512):
+        layer = ConvLayer.square(7, 3, 512, 512)
+        sol = vwsdk_solution(layer, array512)
+        assert sol.is_im2col_shaped
+        assert sol.cycles == im2col_solution(layer, array512).cycles
+
+    def test_first_found_tie_break(self):
+        # VGG-13 layer 1: 10x3 and 4x6 tie at 6216; the width-major scan
+        # reaches 10x3 first (PW_h stays at the kernel height).
+        layer = ConvLayer.square(224, 3, 3, 64)
+        sol = vwsdk_solution(layer, PIMArray.square(512))
+        tie = evaluate_window(layer, PIMArray.square(512),
+                              ParallelWindow(h=6, w=4))
+        assert tie.cycles == sol.cycles
+        assert str(sol.window) == "10x3"
+
+    def test_candidates_searched_counted(self):
+        layer = ConvLayer.square(14, 3, 8, 8)
+        sol = vwsdk_solution(layer, PIMArray.square(512))
+        # 12x12 grid of (h, w) minus the kernel window = 143.
+        assert sol.candidates_searched == 143
+
+    def test_custom_candidate_sequence(self):
+        layer = ConvLayer.square(14, 3, 256, 256)
+        sol = vwsdk_solution(layer, PIMArray.square(512),
+                             candidates=[ParallelWindow(h=4, w=4)])
+        # Only 4x4 offered; it beats im2col (576 < 720) so it is chosen.
+        assert str(sol.window) == "4x4"
+        assert sol.cycles == 576
+
+    def test_scheme_label(self, resnet_l4, array512):
+        assert vwsdk_solution(resnet_l4, array512).scheme == "vw-sdk"
+
+    def test_duplication_is_windows_inside(self, resnet_l4, array512):
+        sol = vwsdk_solution(resnet_l4, array512)
+        assert sol.duplication == sol.window.windows_inside(resnet_l4)
+
+    def test_tiny_array_still_solves(self):
+        layer = ConvLayer.square(14, 3, 8, 8)
+        sol = vwsdk_solution(layer, PIMArray(16, 4))
+        assert sol.cycles >= 1
+
+    def test_rectangular_ifm(self):
+        layer = ConvLayer(ifm_h=8, ifm_w=20, kernel_h=3, kernel_w=3,
+                          in_channels=16, out_channels=16)
+        sol = vwsdk_solution(layer, PIMArray(128, 64))
+        assert sol.cycles <= im2col_solution(layer, PIMArray(128, 64)).cycles
+
+    def test_non_square_kernel(self):
+        layer = ConvLayer(ifm_h=12, ifm_w=12, kernel_h=1, kernel_w=5,
+                          in_channels=8, out_channels=8)
+        sol = vwsdk_solution(layer, PIMArray(128, 64))
+        assert sol.window.covers_kernel(layer)
+        assert sol.cycles <= im2col_solution(layer, PIMArray(128, 64)).cycles
+
+
+class TestEvaluateWindow:
+    def test_infeasible_window_returns_none(self):
+        layer = ConvLayer.square(14, 3, 8, 8)
+        assert evaluate_window(layer, PIMArray.square(512),
+                               ParallelWindow(h=15, w=3)) is None
+
+    def test_sub_kernel_window_returns_none(self):
+        layer = ConvLayer.square(14, 3, 8, 8)
+        assert evaluate_window(layer, PIMArray.square(512),
+                               ParallelWindow(h=2, w=3)) is None
+
+    def test_row_overflow_returns_none(self):
+        layer = ConvLayer.square(14, 3, 8, 8)
+        assert evaluate_window(layer, PIMArray(8, 512),
+                               ParallelWindow(h=3, w=4)) is None
+
+    def test_feasible_window_solution(self, resnet_l4, array512):
+        sol = evaluate_window(resnet_l4, array512, ParallelWindow(h=3, w=4))
+        assert sol is not None
+        assert sol.cycles == 504
+
+
+class TestAgainstExhaustiveOracle:
+    @pytest.mark.parametrize("ifm,k,ic,oc,rows,cols", [
+        (14, 3, 256, 256, 512, 512),
+        (28, 3, 128, 128, 512, 512),
+        (14, 3, 64, 64, 128, 128),
+        (20, 5, 10, 30, 256, 128),
+        (10, 3, 3, 8, 64, 16),
+        (12, 2, 7, 5, 96, 48),
+    ])
+    def test_algorithm1_is_globally_optimal(self, ifm, k, ic, oc, rows,
+                                            cols):
+        layer = ConvLayer.square(ifm, k, ic, oc)
+        arr = PIMArray(rows, cols)
+        assert (vwsdk_solution(layer, arr).cycles
+                == exhaustive_solution(layer, arr).cycles)

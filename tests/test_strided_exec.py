@@ -1,0 +1,114 @@
+"""Functional validation of the native strided execution path."""
+
+import numpy as np
+import pytest
+
+from repro import ConfigurationError, ConvLayer, PIMArray, ParallelWindow
+from repro.core.strided import StridedWindow, search_strided, strided_breakdown
+from repro.core.strided import StridedSolution
+from repro.mapping import build_strided_plan
+from repro.pim import PIMEngine, conv2d_reference
+from repro.search import im2col_solution, vwsdk_solution
+from tests.conftest import random_layer_inputs
+
+
+class TestStrideGuard:
+    def test_large_window_on_strided_layer_rejected(self):
+        layer = ConvLayer.square(14, 3, 8, 8, stride=2)
+        with pytest.raises(Exception, match="stride"):
+            ParallelWindow(h=4, w=4).windows_along(layer)
+
+    def test_kernel_window_allowed_on_strided_layer(self):
+        layer = ConvLayer.square(14, 3, 8, 8, stride=2)
+        assert ParallelWindow.square(3).windows_along(layer) == (1, 1)
+
+    def test_im2col_still_solves_strided(self):
+        layer = ConvLayer.square(14, 3, 8, 8, stride=2)
+        sol = im2col_solution(layer, PIMArray(128, 64))
+        assert sol.cycles == layer.num_windows
+
+    def test_vwsdk_search_degrades_to_im2col_on_strided(self):
+        # Every >kernel window is rejected by the guard, so Algorithm 1
+        # falls back to im2col instead of returning wrong counts.
+        layer = ConvLayer.square(14, 3, 8, 8, stride=2)
+        sol = vwsdk_solution(layer, PIMArray(512, 512))
+        assert sol.is_im2col_shaped
+
+
+class TestIm2colStridedExecution:
+    def test_engine_runs_strided_im2col(self, rng):
+        layer = ConvLayer.square(9, 3, 4, 5, stride=2, padding=1)
+        ifm, kernel = random_layer_inputs(layer, rng)
+        sol = im2col_solution(layer, PIMArray(64, 32))
+        result = PIMEngine().run(sol, ifm, kernel)
+        np.testing.assert_array_equal(
+            result.ofm, conv2d_reference(ifm, kernel, stride=2, padding=1))
+        assert result.cycles == sol.cycles
+
+
+class TestStridedPlanExecution:
+    CASES = [
+        (ConvLayer.square(9, 3, 4, 5, stride=2), PIMArray(64, 32)),
+        (ConvLayer.square(12, 3, 3, 4, stride=2, padding=1),
+         PIMArray(96, 48)),
+        (ConvLayer.square(11, 2, 5, 6, stride=3), PIMArray(80, 24)),
+        (ConvLayer.square(16, 5, 2, 3, stride=2, padding=2),
+         PIMArray(128, 16)),
+    ]
+
+    @pytest.mark.parametrize("layer,arr", CASES)
+    def test_search_result_executes_exactly(self, layer, arr, rng):
+        ifm, kernel = random_layer_inputs(layer, rng)
+        solution = search_strided(layer, arr)
+        if solution.window.windows_inside == 1:
+            pytest.skip("search degenerated to im2col")
+        plan = build_strided_plan(solution)
+        result = PIMEngine().run(plan, ifm, kernel)
+        reference = conv2d_reference(ifm, kernel, stride=layer.stride,
+                                     padding=layer.padding)
+        np.testing.assert_array_equal(result.ofm, reference)
+        assert result.cycles == solution.cycles
+
+    def test_forced_strided_windows_execute(self, rng):
+        layer = ConvLayer.square(12, 3, 3, 4, stride=2)
+        arr = PIMArray(96, 48)
+        ifm, kernel = random_layer_inputs(layer, rng)
+        reference = conv2d_reference(ifm, kernel, stride=2)
+        for nw_h in (1, 2, 3):
+            for nw_w in (1, 2, 3):
+                if nw_h == nw_w == 1:
+                    continue
+                window = StridedWindow(nw_h=nw_h, nw_w=nw_w)
+                try:
+                    bd = strided_breakdown(layer, arr, window)
+                except Exception:
+                    continue
+                solution = StridedSolution(layer=layer, array=arr,
+                                           window=window, breakdown=bd)
+                plan = build_strided_plan(solution)
+                result = PIMEngine().run(plan, ifm, kernel)
+                np.testing.assert_array_equal(result.ofm, reference)
+                assert result.cycles == bd.total
+
+    def test_stride1_plan_matches_regular_path(self, rng):
+        layer = ConvLayer.square(10, 3, 4, 4)
+        arr = PIMArray(64, 32)
+        ifm, kernel = random_layer_inputs(layer, rng)
+        strided = search_strided(layer, arr)
+        plan = build_strided_plan(strided)
+        via_strided = PIMEngine().run(plan, ifm, kernel)
+        via_regular = PIMEngine().run(vwsdk_solution(layer, arr), ifm,
+                                      kernel)
+        np.testing.assert_array_equal(via_strided.ofm, via_regular.ofm)
+        assert via_strided.cycles == via_regular.cycles
+
+    def test_resnet_stem_downscaled_executes(self, rng):
+        # Real conv1 shape at reduced size: 7x7 stride 2 pad 3.
+        layer = ConvLayer.square(30, 7, 3, 8, stride=2, padding=3)
+        arr = PIMArray(256, 64)
+        ifm, kernel = random_layer_inputs(layer, rng, -2, 3)
+        solution = search_strided(layer, arr)
+        plan = build_strided_plan(solution)
+        result = PIMEngine().run(plan, ifm, kernel)
+        reference = conv2d_reference(ifm, kernel, stride=2, padding=3)
+        np.testing.assert_array_equal(result.ofm, reference)

@@ -1,0 +1,110 @@
+"""Unit tests for ParallelWindow and the Algorithm 1 scan order."""
+
+import pytest
+
+from repro import ConfigurationError, ConvLayer, ParallelWindow
+from repro.core.window import iter_candidate_windows
+
+
+class TestConstruction:
+    def test_basic(self):
+        win = ParallelWindow(h=3, w=10)
+        assert win.h == 3
+        assert win.w == 10
+        assert win.area == 30
+
+    def test_square(self):
+        win = ParallelWindow.square(4)
+        assert win.is_square
+        assert win.area == 16
+
+    def test_of_kernel(self):
+        layer = ConvLayer(ifm_h=9, ifm_w=12, kernel_h=2, kernel_w=4,
+                          in_channels=1, out_channels=1)
+        win = ParallelWindow.of_kernel(layer)
+        assert (win.h, win.w) == (2, 4)
+
+    def test_zero_dim_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelWindow(h=0, w=3)
+
+    def test_str_is_width_first(self):
+        # Paper's Table I prints VGG-13 layer 1's window as "10x3".
+        assert str(ParallelWindow(h=3, w=10)) == "10x3"
+
+    def test_parse_roundtrip(self):
+        win = ParallelWindow.parse("10x3")
+        assert (win.w, win.h) == (10, 3)
+        assert str(win) == "10x3"
+
+    def test_parse_rejects_single_number(self):
+        with pytest.raises(ConfigurationError):
+            ParallelWindow.parse("10")
+
+    def test_transposed(self):
+        assert ParallelWindow(h=3, w=10).transposed() == ParallelWindow(
+            h=10, w=3)
+
+
+class TestWindowMath:
+    def test_windows_along(self):
+        layer = ConvLayer.square(14, 3, 1, 1)
+        assert ParallelWindow(h=3, w=4).windows_along(layer) == (1, 2)
+
+    def test_windows_inside(self):
+        layer = ConvLayer.square(14, 3, 1, 1)
+        assert ParallelWindow(h=5, w=4).windows_inside(layer) == 6
+
+    def test_kernel_window_has_one_window(self):
+        layer = ConvLayer.square(14, 3, 1, 1)
+        assert ParallelWindow.square(3).windows_inside(layer) == 1
+
+    def test_smaller_than_kernel_raises(self):
+        layer = ConvLayer.square(14, 3, 1, 1)
+        with pytest.raises(ConfigurationError):
+            ParallelWindow(h=2, w=5).windows_along(layer)
+
+    def test_fits_ifm(self):
+        layer = ConvLayer.square(14, 3, 1, 1)
+        assert ParallelWindow(h=14, w=14).fits_ifm(layer)
+        assert not ParallelWindow(h=15, w=3).fits_ifm(layer)
+
+    def test_fits_ifm_uses_padding(self):
+        layer = ConvLayer.square(14, 3, 1, 1, padding=1)
+        assert ParallelWindow(h=16, w=16).fits_ifm(layer)
+
+    def test_covers_kernel(self):
+        layer = ConvLayer.square(14, 3, 1, 1)
+        assert ParallelWindow(h=3, w=3).covers_kernel(layer)
+        assert not ParallelWindow(h=2, w=9).covers_kernel(layer)
+
+
+class TestScanOrder:
+    def test_first_candidate_widens_width(self):
+        layer = ConvLayer.square(6, 3, 1, 1)
+        first = next(iter_candidate_windows(layer))
+        assert (first.h, first.w) == (3, 4)
+
+    def test_kernel_window_skipped(self):
+        layer = ConvLayer.square(6, 3, 1, 1)
+        candidates = list(iter_candidate_windows(layer))
+        assert ParallelWindow(h=3, w=3) not in candidates
+
+    def test_count(self):
+        layer = ConvLayer.square(6, 3, 1, 1)
+        # heights 3..6 x widths 3..6 minus the kernel window = 15.
+        assert len(list(iter_candidate_windows(layer))) == 15
+
+    def test_width_major_order(self):
+        layer = ConvLayer.square(5, 3, 1, 1)
+        candidates = [(c.h, c.w) for c in iter_candidate_windows(layer)]
+        assert candidates == [(3, 4), (3, 5),
+                              (4, 3), (4, 4), (4, 5),
+                              (5, 3), (5, 4), (5, 5)]
+
+    def test_rectangular_ifm(self):
+        layer = ConvLayer(ifm_h=4, ifm_w=6, kernel_h=3, kernel_w=3,
+                          in_channels=1, out_channels=1)
+        candidates = list(iter_candidate_windows(layer))
+        assert max(c.w for c in candidates) == 6
+        assert max(c.h for c in candidates) == 4
