@@ -1,0 +1,125 @@
+"""Bench: engine batch throughput, cached vs. uncached (not a paper figure).
+
+Measures what the MappingEngine's memoization buys on the service hot
+path: mapping whole networks across every registered scheme, the exact
+workload of `vwsdk network --json`.  The uncached engine re-runs
+Algorithm 1 (and the baselines) for every request; the warmed engine
+answers from the solution memo.
+
+Run under pytest-benchmark::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_api.py --benchmark-only
+
+or as a script, which times both paths once and writes the comparison
+to ``BENCH_api.json`` next to this file::
+
+    PYTHONPATH=src python benchmarks/bench_api.py
+"""
+
+import time
+
+import pytest
+
+from repro.api import BatchRequest, MappingEngine
+from repro.core import PIMArray
+from repro.networks import resnet18, vgg16
+
+ARRAY = PIMArray.square(512)
+
+
+def full_batch() -> BatchRequest:
+    """Every (scheme, layer) pair of ResNet-18 + VGG-16: the CLI's
+    ``network --json`` workload for both zoo networks."""
+    schemes = tuple(MappingEngine().schemes())
+    requests = []
+    for network in (resnet18(), vgg16()):
+        requests.extend(BatchRequest.from_network(network, ARRAY,
+                                                  schemes=schemes))
+    return BatchRequest.of(requests)
+
+
+def test_batch_uncached(benchmark):
+    """Every request runs its solver: the pre-engine behaviour."""
+    batch = full_batch()
+    engine = MappingEngine(cache_size=0)
+    result = benchmark(engine.map_batch, batch)
+    assert result.stats.hits == 0
+    benchmark.extra_info["requests"] = len(batch)
+    benchmark.extra_info["solver_calls_per_run"] = result.stats.solver_calls
+
+
+def test_batch_cached(benchmark):
+    """Warmed engine: the steady state of a long-running service."""
+    batch = full_batch()
+    engine = MappingEngine()
+    engine.map_batch(batch)   # warm
+    result = benchmark(engine.map_batch, batch)
+    assert result.stats.solver_calls == 0
+    benchmark.extra_info["requests"] = len(batch)
+    benchmark.extra_info["hit_rate"] = result.stats.hit_rate
+
+
+def test_cached_strictly_fewer_solver_calls(benchmark):
+    """The acceptance check under bench load: re-mapping both networks
+    across all schemes performs strictly fewer solver invocations."""
+    batch = full_batch()
+    engine = MappingEngine()
+    cold = engine.map_batch(batch)
+
+    def warm_run():
+        return engine.map_batch(batch)
+
+    warm = benchmark(warm_run)
+    assert warm.stats.solver_calls < cold.stats.solver_calls
+    assert [r.cycles for r in warm] == [r.cycles for r in cold]
+
+
+def main() -> int:
+    """Time both paths once and write BENCH_api.json."""
+    from pathlib import Path
+
+    from repro.reporting import write_json
+
+    batch = full_batch()
+    runs = 5
+
+    uncached = MappingEngine(cache_size=0)
+    start = time.perf_counter()
+    for _ in range(runs):
+        cold = uncached.map_batch(batch)
+    uncached_s = (time.perf_counter() - start) / runs
+
+    cached = MappingEngine()
+    cached.map_batch(batch)   # warm
+    start = time.perf_counter()
+    for _ in range(runs):
+        warm = cached.map_batch(batch)
+    cached_s = (time.perf_counter() - start) / runs
+
+    payload = {
+        "bench": "api_batch_throughput",
+        "workload": "resnet18+vgg16 x all schemes",
+        "requests": len(batch),
+        "uncached": {
+            "seconds_per_batch": round(uncached_s, 6),
+            "requests_per_second": round(len(batch) / uncached_s, 1),
+            "solver_calls": cold.stats.solver_calls,
+        },
+        "cached": {
+            "seconds_per_batch": round(cached_s, 6),
+            "requests_per_second": round(len(batch) / cached_s, 1),
+            "solver_calls": warm.stats.solver_calls,
+            "hit_rate": warm.stats.hit_rate,
+        },
+        "speedup": round(uncached_s / cached_s, 2),
+    }
+    path = write_json(Path(__file__).parent / "BENCH_api.json", payload)
+    print(f"wrote {path}")
+    print(f"uncached: {payload['uncached']['requests_per_second']} req/s  "
+          f"cached: {payload['cached']['requests_per_second']} req/s  "
+          f"speedup: {payload['speedup']}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

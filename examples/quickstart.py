@@ -4,11 +4,15 @@ Run:  python examples/quickstart.py
 
 Shows the 60-second workflow: describe a layer, pick an array, run the
 paper's Algorithm 1, inspect the solution, then map a whole network and
-compare against the im2col / SDK baselines.
+compare against the im2col / SDK baselines — first through the legacy
+functions, then through the unified MappingEngine (memoized, batched,
+JSON-serialisable).
 """
 
 from repro import (
+    BatchRequest,
     ConvLayer,
+    MappingEngine,
     PIMArray,
     compare_schemes,
     cost_report,
@@ -59,6 +63,33 @@ def map_whole_network() -> None:
           f"{vw.speedup_over(reports['sdk']):.2f}x (paper: 1.69x)")
 
 
+def map_with_engine() -> None:
+    """The same comparison through the unified engine API.
+
+    One batch covers every (scheme, layer) pair; repeated problems are
+    answered from the engine's memo, and the result round-trips through
+    JSON for service-style use.
+    """
+    engine = MappingEngine()
+    batch = BatchRequest.from_network(resnet18(), PIMArray.square(512),
+                                      schemes=("im2col", "sdk", "vw-sdk"))
+    result = engine.map_batch(batch)
+
+    print("\n== engine API (same network, batched) ==")
+    totals = {scheme: sum(r.cycles for r in responses)
+              for scheme, responses in result.by_scheme().items()}
+    print("totals: " + "  ".join(f"{s}={c}" for s, c in totals.items()))
+    print(f"batch stats: {result.stats}")
+
+    rerun = engine.map_batch(batch)     # identical batch: all cache hits
+    print(f"re-run stats: {rerun.stats} "
+          f"({rerun.stats.solver_calls} solver calls)")
+
+    envelope = rerun[0].to_json(indent=None)
+    print(f"JSON envelope (first response): {envelope[:76]}...")
+
+
 if __name__ == "__main__":
     map_one_layer()
     map_whole_network()
+    map_with_engine()

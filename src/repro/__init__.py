@@ -15,8 +15,34 @@ Quickstart::
     layer = ConvLayer.square(14, 3, 256, 256)   # ResNet-18 conv4_x
     sol = vwsdk_solution(layer, PIMArray.square(512))
     print(sol.describe())                        # 4x3 window, 504 cycles
+
+Service-style use goes through the unified engine API — memoized,
+batch-capable and JSON-serialisable::
+
+    from repro import BatchRequest, MappingEngine, resnet18
+
+    engine = MappingEngine()
+    batch = BatchRequest.from_network(resnet18(), PIMArray.square(512),
+                                      schemes=("im2col", "sdk", "vw-sdk"))
+    result = engine.map_batch(batch)    # order-preserving, deduplicated
+    print(result.stats)                 # cache hits/misses for the batch
+    print(result.to_json())             # machine-readable envelope
+
+New mapping schemes plug in with one decorator
+(:func:`repro.api.register_scheme`) and are immediately available to
+``solve``, ``map_network``, ``plan_pipeline``, the CLI and the engine.
 """
 
+from .api import (
+    BatchRequest,
+    BatchResult,
+    MappingEngine,
+    MappingRequest,
+    MappingResponse,
+    SolverRegistry,
+    default_engine,
+    register_scheme,
+)
 from .chip import (
     ChipConfig,
     LayerAllocation,
@@ -106,6 +132,15 @@ __all__ = [
     "vgg16",
     "resnet18",
     "resnet18_full",
+    # unified engine API
+    "MappingEngine",
+    "MappingRequest",
+    "BatchRequest",
+    "MappingResponse",
+    "BatchResult",
+    "SolverRegistry",
+    "register_scheme",
+    "default_engine",
     # chip-level deployment
     "ChipConfig",
     "LayerAllocation",

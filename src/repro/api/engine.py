@@ -1,0 +1,348 @@
+"""The mapping engine: one front door for all mapping work.
+
+:class:`MappingEngine` resolves :class:`~repro.api.request.MappingRequest`
+objects through a scheme registry, memoizes solutions in a bounded LRU
+cache keyed by the request's canonical hash, and executes batches on a
+thread pool.  Every entry point of the library — ``repro.search.solve``,
+``repro.networks.map_network`` / ``compare_schemes``,
+``repro.chip.plan_pipeline``, the experiment drivers and the CLI — routes
+through one shared engine (:func:`default_engine`), so a full-network
+comparison across schemes solves each distinct ``(geometry, array,
+scheme)`` problem exactly once: VGG/ResNet repeat conv shapes heavily
+and the paper's Algorithm 1 scan is the hot path this amortises.
+
+Cache-hit solutions are *rebound* to the requesting layer
+(``dataclasses.replace(sol, layer=request.layer)``), so a hit served
+from conv3_1's solution still reports conv3_2's name and repeat count
+downstream — pipeline planning and weighted cycle totals stay exact.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..core.array import PIMArray
+from ..core.layer import ConvLayer
+from ..core.types import ConfigurationError
+from ..search.result import MappingSolution
+from .registry import DEFAULT_REGISTRY, SolverRegistry
+from .request import BatchRequest, MappingRequest
+from .response import BatchResult, CacheSnapshot, MappingResponse
+
+__all__ = ["MappingEngine", "default_engine", "set_default_engine"]
+
+#: map_batch accepts a BatchRequest or any iterable of requests.
+Requests = Union[BatchRequest, Iterable[MappingRequest]]
+
+
+class _LRUCache:
+    """A small thread-safe LRU map: cache_key -> MappingSolution.
+
+    ``maxsize <= 0`` disables caching entirely (every get misses); a
+    positive maxsize evicts least-recently-used entries on overflow.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        self._data: "OrderedDict[str, MappingSolution]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: str) -> Optional[MappingSolution]:
+        with self._lock:
+            solution = self._data.get(key)
+            if solution is None:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return solution
+
+    def put(self, key: str, solution: MappingSolution) -> None:
+        if self.maxsize <= 0:
+            return
+        with self._lock:
+            self._data[key] = solution
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def count_hit(self) -> None:
+        with self._lock:
+            self.hits += 1
+
+    def count_miss(self) -> None:
+        with self._lock:
+            self.misses += 1
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def snapshot(self) -> CacheSnapshot:
+        with self._lock:
+            return CacheSnapshot(hits=self.hits, misses=self.misses,
+                                 evictions=self.evictions,
+                                 size=len(self._data))
+
+
+class MappingEngine:
+    """Facade over the solver registry with memoization and batching.
+
+    Parameters
+    ----------
+    registry:
+        Scheme registry to resolve against; defaults to the process-wide
+        :data:`~repro.api.registry.DEFAULT_REGISTRY`.
+    cache_size:
+        Maximum memoized solutions (LRU eviction).  ``0`` disables
+        caching — useful for benchmarking the raw solver path.
+    max_workers:
+        Thread-pool width for :meth:`map_batch`.  ``None`` lets
+        ``concurrent.futures`` pick; ``1`` forces serial execution.
+
+    >>> engine = MappingEngine()
+    >>> layer = ConvLayer.square(14, 3, 256, 256)
+    >>> engine.solve(layer, PIMArray.square(512), "vw-sdk").cycles
+    504
+    """
+
+    def __init__(self, registry: Optional[SolverRegistry] = None,
+                 cache_size: int = 4096,
+                 max_workers: Optional[int] = None) -> None:
+        if cache_size < 0:
+            raise ConfigurationError(
+                f"cache_size must be >= 0, got {cache_size}")
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be >= 1 (or None), got {max_workers}")
+        self.registry = registry if registry is not None else DEFAULT_REGISTRY
+        self.max_workers = max_workers
+        self._cache = _LRUCache(cache_size)
+
+    # ------------------------------------------------------------------
+    # Single-request paths
+    # ------------------------------------------------------------------
+    def solve(self, layer: ConvLayer, array: PIMArray,
+              scheme: str) -> MappingSolution:
+        """Memoized equivalent of the legacy ``repro.search.solve``.
+
+        Raises :class:`~repro.api.registry.UnknownSchemeError` (a
+        ``ValueError``) for unregistered scheme names.
+        """
+        return self.map(MappingRequest(layer=layer, array=array,
+                                       scheme=scheme)).solution
+
+    def _memo_key(self, request: MappingRequest) -> str:
+        """The engine's internal cache key for *request*.
+
+        The request's canonical hash plus the registry's per-scheme
+        registration version, so replacing or re-registering a solver
+        (``replace=True`` / ``unregister``) never serves solutions the
+        old solver computed.
+        """
+        version = self.registry.version(request.scheme)
+        return f"{version}:{request.cache_key}"
+
+    def _timed_solve(self, request: MappingRequest,
+                     key: str) -> Tuple[MappingSolution, float]:
+        """Run the solver for *request*, cache under *key*, return
+        ``(solution, wall_ms)``.  The one place solver time is spent."""
+        solver = self.registry.solver(request.scheme)
+        start = time.perf_counter()
+        solution = solver(request.layer, request.array)
+        solve_ms = (time.perf_counter() - start) * 1000.0
+        self._cache.put(key, solution)
+        return solution, solve_ms
+
+    def map(self, request: MappingRequest) -> MappingResponse:
+        """Resolve one request into a :class:`MappingResponse`."""
+        self.registry.solver(request.scheme)  # fail fast
+        key = self._memo_key(request)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return MappingResponse(request=request,
+                                   solution=self._rebind(cached, request),
+                                   cached=True)
+        solution, solve_ms = self._timed_solve(request, key)
+        return MappingResponse(request=request, solution=solution,
+                               cached=False, solve_ms=solve_ms)
+
+    # ------------------------------------------------------------------
+    # Batch path
+    # ------------------------------------------------------------------
+    def map_batch(self, requests: Requests,
+                  max_workers: Optional[int] = None) -> BatchResult:
+        """Resolve a batch concurrently; results preserve request order.
+
+        Duplicate problems inside the batch are solved once: the batch
+        is deduplicated by canonical cache key before hitting the pool,
+        so the solver-invocation count equals the number of *distinct
+        uncached* problems, never the batch length.  (A ``cache_size=0``
+        engine skips deduplication too — every request runs its solver,
+        which is the honest baseline for benchmarking.)  ``stats.hits``
+        / ``stats.misses`` on the returned :class:`BatchResult` are
+        tallied per batch (exact even when the engine is shared across
+        threads); ``evictions``/``size`` describe the engine's cache
+        after the batch.
+        """
+        batch = (requests if isinstance(requests, BatchRequest)
+                 else BatchRequest.of(requests))
+        start = time.perf_counter()
+
+        # Resolve schemes up front so an unknown name fails the whole
+        # batch before any solver time is spent.
+        for scheme in {request.scheme for request in batch}:
+            self.registry.solver(scheme)
+
+        # First occurrence of each uncached key gets solved; everything
+        # else is a hit (either pre-existing or intra-batch duplicate).
+        # With caching disabled every request gets its own key.
+        dedup = self._cache.maxsize > 0
+        keys = [self._memo_key(request) if dedup
+                else f"#{i}:{self._memo_key(request)}"
+                for i, request in enumerate(batch)]
+        to_solve: "OrderedDict[str, MappingRequest]" = OrderedDict()
+        for key, request in zip(keys, batch):
+            if key not in self._cache and key not in to_solve:
+                to_solve[key] = request
+        solved = self._solve_many(tuple(to_solve.items()), max_workers)
+
+        responses: List[MappingResponse] = []
+        batch_hits = batch_misses = 0
+        first_use = set()
+        for key, request in zip(keys, batch):
+            if key in solved and key not in first_use:
+                first_use.add(key)
+                solution, solve_ms = solved[key]
+                self._cache.count_miss()
+                batch_misses += 1
+                responses.append(MappingResponse(
+                    request=request,
+                    solution=self._rebind(solution, request),
+                    cached=False, solve_ms=solve_ms))
+            else:
+                if key in solved:
+                    solution = solved[key][0]
+                    self._cache.count_hit()
+                else:
+                    solution = self._cache.get(key)
+                if solution is None:
+                    # A pre-cached entry was evicted while this batch's
+                    # own puts (or another thread) filled the cache;
+                    # re-solve rather than dereference None.  The get()
+                    # above already counted the miss.
+                    solution, solve_ms = self._timed_solve(request, key)
+                    batch_misses += 1
+                    responses.append(MappingResponse(
+                        request=request,
+                        solution=self._rebind(solution, request),
+                        cached=False, solve_ms=solve_ms))
+                    continue
+                batch_hits += 1
+                responses.append(MappingResponse(
+                    request=request,
+                    solution=self._rebind(solution, request),
+                    cached=True))
+        after = self._cache.snapshot()
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        stats = CacheSnapshot(hits=batch_hits, misses=batch_misses,
+                              evictions=after.evictions, size=after.size)
+        return BatchResult(responses=tuple(responses), stats=stats,
+                           elapsed_ms=elapsed_ms)
+
+    def _solve_many(self, items: Sequence[Tuple[str, MappingRequest]],
+                    max_workers: Optional[int]
+                    ) -> Dict[str, Tuple[MappingSolution, float]]:
+        """Solve distinct problems, concurrently when it pays off."""
+        workers = max_workers if max_workers is not None else self.max_workers
+        solved: Dict[str, Tuple[MappingSolution, float]] = {}
+        if not items:
+            return solved
+        if workers == 1 or len(items) == 1:
+            for key, request in items:
+                solved[key] = self._timed_solve(request, key)
+        else:
+            from concurrent.futures import ThreadPoolExecutor
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                futures = {key: pool.submit(self._timed_solve, request, key)
+                           for key, request in items}
+                for key, future in futures.items():
+                    solved[key] = future.result()
+        return solved
+
+    @staticmethod
+    def _rebind(solution: MappingSolution,
+                request: MappingRequest) -> MappingSolution:
+        """Attach the requesting layer/array to a (possibly shared)
+        solution so metadata like ``name``/``repeats`` stays correct."""
+        if solution.layer is request.layer and solution.array is request.array:
+            return solution
+        return replace(solution, layer=request.layer, array=request.array)
+
+    # ------------------------------------------------------------------
+    # Introspection / management
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> CacheSnapshot:
+        """Lifetime cache statistics of this engine."""
+        return self._cache.snapshot()
+
+    @property
+    def cache_len(self) -> int:
+        """Number of currently memoized solutions."""
+        return len(self._cache)
+
+    def cache_clear(self) -> None:
+        """Drop all memoized solutions (counters keep accruing)."""
+        self._cache.clear()
+
+    def schemes(self) -> Tuple[str, ...]:
+        """Scheme names this engine can resolve."""
+        return self.registry.names()
+
+    def __repr__(self) -> str:  # noqa: D105 - debugging aid
+        snap = self.stats
+        return (f"MappingEngine(schemes={len(self.registry)}, "
+                f"cache={snap.size}/{self._cache.maxsize}, "
+                f"hits={snap.hits}, misses={snap.misses})")
+
+
+_default_engine: Optional[MappingEngine] = None
+_default_lock = threading.Lock()
+
+
+def default_engine() -> MappingEngine:
+    """The process-wide shared engine every legacy entry point uses.
+
+    Created lazily on first use against the default registry.  Use
+    :func:`set_default_engine` to swap in a differently-configured
+    instance (e.g. a larger cache for a long-running service).
+    """
+    global _default_engine
+    with _default_lock:
+        if _default_engine is None:
+            _default_engine = MappingEngine()
+        return _default_engine
+
+
+def set_default_engine(engine: Optional[MappingEngine]) -> None:
+    """Replace the shared engine (``None`` resets to a fresh default)."""
+    global _default_engine
+    with _default_lock:
+        _default_engine = engine

@@ -1,0 +1,205 @@
+"""Immutable mapping requests with canonical hashing.
+
+A :class:`MappingRequest` is the unit of work the engine accepts: one
+``(layer, array, scheme)`` problem instance.  Its :attr:`cache_key` is
+a canonical digest over the fields the *solution* depends on — layer
+geometry, array geometry, scheme — deliberately excluding presentation
+metadata (``layer.name``) and network bookkeeping (``layer.repeats``),
+so conv3_1 and conv3_2 of ResNet-18 (identical shapes, different names)
+resolve to the same cached solution.
+
+A :class:`BatchRequest` is an ordered tuple of requests; the engine's
+batch executor preserves that order in its results.  Both objects
+round-trip through plain dicts / JSON for service-style use.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, Iterator, Sequence, Tuple
+
+from ..core.array import PIMArray
+from ..core.layer import ConvLayer
+from ..core.types import ConfigurationError
+
+__all__ = [
+    "MappingRequest",
+    "BatchRequest",
+    "layer_to_dict",
+    "layer_from_dict",
+    "array_to_dict",
+    "array_from_dict",
+]
+
+
+# ----------------------------------------------------------------------
+# Plain-dict codecs for the core geometry types (shared with responses)
+# ----------------------------------------------------------------------
+def layer_to_dict(layer: ConvLayer) -> Dict[str, object]:
+    """The layer in the project-wide wire format.
+
+    Delegates to :meth:`ConvLayer.to_dict`, the same format
+    ``repro.networks.io`` uses for ``vwsdk network --file`` inputs, so
+    layer dicts round-trip between network files and API envelopes.
+    """
+    return layer.to_dict()
+
+
+def layer_from_dict(data: Dict[str, object]) -> ConvLayer:
+    """Inverse of :func:`layer_to_dict`."""
+    return ConvLayer.from_dict(data)
+
+
+def array_to_dict(array: PIMArray) -> Dict[str, object]:
+    """Array geometry as a plain dict."""
+    return {"rows": array.rows, "cols": array.cols, "name": array.name}
+
+
+def array_from_dict(data: Dict[str, object]) -> PIMArray:
+    """Inverse of :func:`array_to_dict`."""
+    return PIMArray(rows=data["rows"], cols=data["cols"],
+                    name=data.get("name", ""))
+
+
+@dataclass(frozen=True)
+class MappingRequest:
+    """One mapping problem: map *layer* onto *array* with *scheme*.
+
+    ``tag`` is free-form caller metadata (e.g. a request id) carried
+    through to the response; it never affects solving or caching.
+
+    >>> req = MappingRequest(ConvLayer.square(14, 3, 256, 256),
+    ...                      PIMArray.square(512), "vw-sdk")
+    >>> req.cache_key == replace(req, tag="retry-1").cache_key
+    True
+    """
+
+    layer: ConvLayer
+    array: PIMArray
+    scheme: str
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.layer, ConvLayer):
+            raise ConfigurationError(
+                f"request layer must be a ConvLayer, "
+                f"got {type(self.layer).__name__}")
+        if not isinstance(self.array, PIMArray):
+            raise ConfigurationError(
+                f"request array must be a PIMArray, "
+                f"got {type(self.array).__name__}")
+        if not self.scheme or not isinstance(self.scheme, str):
+            raise ConfigurationError(
+                f"request scheme must be a non-empty string, "
+                f"got {self.scheme!r}")
+
+    # ------------------------------------------------------------------
+    # Canonical hashing
+    # ------------------------------------------------------------------
+    def canonical(self) -> Dict[str, object]:
+        """The solution-determining fields, in a stable shape.
+
+        Excludes ``layer.name``, ``layer.repeats``, ``array.name`` and
+        ``tag``: none of them changes the computed mapping, so requests
+        differing only there share one cache entry.
+        """
+        return {
+            "scheme": self.scheme,
+            "layer": [self.layer.ifm_h, self.layer.ifm_w,
+                      self.layer.kernel_h, self.layer.kernel_w,
+                      self.layer.in_channels, self.layer.out_channels,
+                      self.layer.stride, self.layer.padding],
+            "array": [self.array.rows, self.array.cols],
+        }
+
+    @property
+    def cache_key(self) -> str:
+        """Stable hex digest of :meth:`canonical` (cache/shard key).
+
+        Computed once per request object — batch paths and envelope
+        serialisation both read it repeatedly.
+        """
+        cached = self.__dict__.get("_cache_key")
+        if cached is None:
+            payload = json.dumps(self.canonical(), sort_keys=True,
+                                 separators=(",", ":"))
+            cached = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+            object.__setattr__(self, "_cache_key", cached)
+        return cached
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Full JSON-serialisable description (metadata included)."""
+        return {
+            "layer": layer_to_dict(self.layer),
+            "array": array_to_dict(self.array),
+            "scheme": self.scheme,
+            "tag": self.tag,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "MappingRequest":
+        """Inverse of :meth:`to_dict`."""
+        return cls(layer=layer_from_dict(data["layer"]),
+                   array=array_from_dict(data["array"]),
+                   scheme=data["scheme"], tag=data.get("tag", ""))
+
+    def __str__(self) -> str:  # noqa: D105 - compact log line
+        label = self.layer.name or self.layer.shape_str
+        return f"{self.scheme}({label} @ {self.array})"
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """An ordered batch of mapping requests.
+
+    >>> from repro.networks import resnet18
+    >>> batch = BatchRequest.from_network(resnet18(), PIMArray.square(512),
+    ...                                   schemes=("im2col", "vw-sdk"))
+    >>> len(batch)
+    10
+    """
+
+    requests: Tuple[MappingRequest, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "requests", tuple(self.requests))
+        if not self.requests:
+            raise ConfigurationError("a BatchRequest needs >= 1 request")
+
+    @classmethod
+    def from_network(cls, network, array: PIMArray,
+                     schemes: Sequence[str] = ("vw-sdk",)) -> "BatchRequest":
+        """One request per (scheme, layer) of *network*, scheme-major."""
+        requests = [MappingRequest(layer=layer, array=array, scheme=scheme,
+                                   tag=f"{network.name}/{layer.name}")
+                    for scheme in schemes for layer in network]
+        return cls(requests=tuple(requests))
+
+    @classmethod
+    def of(cls, requests: Iterable[MappingRequest]) -> "BatchRequest":
+        """Build a batch from any iterable of requests."""
+        return cls(requests=tuple(requests))
+
+    def __len__(self) -> int:  # noqa: D105
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[MappingRequest]:  # noqa: D105
+        return iter(self.requests)
+
+    def __getitem__(self, index: int) -> MappingRequest:  # noqa: D105
+        return self.requests[index]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form."""
+        return {"requests": [req.to_dict() for req in self.requests]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "BatchRequest":
+        """Inverse of :meth:`to_dict`."""
+        return cls(requests=tuple(MappingRequest.from_dict(item)
+                                  for item in data["requests"]))

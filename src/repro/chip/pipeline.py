@@ -23,11 +23,11 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..api.engine import MappingEngine, default_engine
 from ..core.types import ReproError, ceil_div
 from ..networks.layerset import Network
-from ..search import solve
 from .allocation import LayerAllocation, allocate_layer, residency_arrays
 from .config import ChipConfig
 
@@ -94,8 +94,13 @@ def _minimum_allocation(solutions: Sequence) -> List[int]:
 
 
 def plan_pipeline(network: Network, chip: ChipConfig,
-                  scheme: str = "vw-sdk") -> PipelinePlan:
+                  scheme: str = "vw-sdk",
+                  engine: Optional[MappingEngine] = None) -> PipelinePlan:
     """Allocate the chip's crossbars across the network's layers.
+
+    Per-layer mappings come from *engine* (the shared
+    :func:`repro.api.default_engine` by default), so planning a chip
+    for a network that was already mapped costs no solver time.
 
     Raises :class:`InsufficientArraysError` when even the residency
     minimum (one array per tile programming, times block repeats) does
@@ -108,7 +113,8 @@ def plan_pipeline(network: Network, chip: ChipConfig,
     >>> plan.arrays_used <= 64
     True
     """
-    solutions = [solve(layer, chip.array, scheme) for layer in network]
+    eng = engine if engine is not None else default_engine()
+    solutions = [eng.solve(layer, chip.array, scheme) for layer in network]
     minimum = _minimum_allocation(solutions)
     repeats = [sol.layer.repeats for sol in solutions]
     floor_arrays = sum(m * r for m, r in zip(minimum, repeats))

@@ -5,10 +5,14 @@ Subcommands
 map
     Map one convolutional layer onto an array with any scheme and print
     the full solution (window, tiled channels, cycle breakdown,
-    utilization, latency/energy estimate).
+    utilization, latency/energy estimate).  ``--json`` emits the
+    machine-readable :class:`repro.api.MappingResponse` envelope
+    instead.
 network
     Map a zoo network (or all layers of a custom one) and print the
-    per-layer table plus totals and speedups.
+    per-layer table plus totals and speedups.  ``--json`` emits the
+    :class:`repro.api.BatchResult` envelope covering every
+    (scheme, layer) pair.
 experiments
     Regenerate every paper table/figure and print the verification
     scoreboard (exit status reflects it).
@@ -23,10 +27,11 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .api import BatchRequest, MappingRequest, default_engine
 from .core import ConvLayer, PIMArray, cost_report, utilization_report
 from .networks import compare_schemes, get_network
 from .reporting import format_table
-from .search import SCHEMES, cycle_landscape, solve
+from .search import PAPER_SCHEMES, SCHEMES, cycle_landscape
 
 __all__ = ["main", "build_parser"]
 
@@ -51,6 +56,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="array as ROWSxCOLS (default 512x512)")
     p_map.add_argument("--scheme", default="vw-sdk",
                        choices=sorted(SCHEMES), help="mapping scheme")
+    p_map.add_argument("--json", action="store_true",
+                       help="print the MappingResponse envelope as JSON")
 
     p_net = sub.add_parser("network", help="map a zoo or custom network")
     p_net.add_argument("name", nargs="?", default=None,
@@ -60,6 +67,8 @@ def build_parser() -> argparse.ArgumentParser:
                             "repro.networks.io) instead of a zoo name")
     p_net.add_argument("--array", default="512x512",
                        help="array as ROWSxCOLS")
+    p_net.add_argument("--json", action="store_true",
+                       help="print the BatchResult envelope as JSON")
 
     p_exp = sub.add_parser(
         "experiments",
@@ -96,7 +105,12 @@ def _layer_from_args(args: argparse.Namespace) -> ConvLayer:
 def _cmd_map(args: argparse.Namespace) -> int:
     layer = _layer_from_args(args)
     array = PIMArray.parse(args.array)
-    solution = solve(layer, array, args.scheme)
+    response = default_engine().map(
+        MappingRequest(layer=layer, array=array, scheme=args.scheme))
+    if args.json:
+        print(response.to_json())
+        return 0
+    solution = response.solution
     print(solution.describe())
     util = utilization_report(solution)
     print(f"utilization       : mean {util.mean_pct:.1f}%  "
@@ -118,6 +132,11 @@ def _cmd_network(args: argparse.Namespace) -> int:
     else:
         raise SystemExit("network: give a zoo name or --file PATH")
     array = PIMArray.parse(args.array)
+    if args.json:
+        batch = BatchRequest.from_network(network, array,
+                                          schemes=PAPER_SCHEMES)
+        print(default_engine().map_batch(batch).to_json())
+        return 0
     reports = compare_schemes(network, array)
     vw = reports["vw-sdk"]
     rows = []

@@ -16,7 +16,7 @@ the equivalent stride-1 layer used by the analytical model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Tuple
+from typing import Dict, Tuple
 
 from .types import (
     ConfigurationError,
@@ -97,6 +97,55 @@ class ConvLayer:
         return cls(ifm_h=ifm, ifm_w=ifm, kernel_h=kernel, kernel_w=kernel,
                    in_channels=in_channels, out_channels=out_channels,
                    stride=stride, padding=padding, repeats=repeats, name=name)
+
+    @classmethod
+    def from_dict(cls, entry: Dict) -> "ConvLayer":
+        """Build a layer from the project's JSON wire format.
+
+        The format is shared by network files (``vwsdk network --file``,
+        :mod:`repro.networks.io`) and the engine API envelopes:
+        ``ifm``/``kernel`` accept a scalar (square) or an ``[h, w]``
+        pair; ``stride``, ``padding``, ``repeats`` and ``name`` are
+        optional.
+
+        >>> ConvLayer.from_dict({"ifm": 8, "kernel": [1, 3],
+        ...                      "ic": 2, "oc": 4}).shape_str
+        '1x3x2x4'
+        """
+        missing = {"ifm", "kernel", "ic", "oc"} - set(entry)
+        if missing:
+            raise ConfigurationError(
+                f"layer spec missing keys: {sorted(missing)}")
+        ifm_h, ifm_w = as_pair("ifm", entry["ifm"])
+        kernel_h, kernel_w = as_pair("kernel", entry["kernel"])
+        return cls(
+            ifm_h=ifm_h, ifm_w=ifm_w, kernel_h=kernel_h, kernel_w=kernel_w,
+            in_channels=int(entry["ic"]), out_channels=int(entry["oc"]),
+            stride=int(entry.get("stride", 1)),
+            padding=int(entry.get("padding", 0)),
+            repeats=int(entry.get("repeats", 1)),
+            name=str(entry.get("name", "")))
+
+    def to_dict(self) -> Dict:
+        """The layer in the JSON wire format (defaults omitted).
+
+        Inverse of :meth:`from_dict`.
+        """
+        entry: Dict = {
+            "ifm": [self.ifm_h, self.ifm_w],
+            "kernel": [self.kernel_h, self.kernel_w],
+            "ic": self.in_channels,
+            "oc": self.out_channels,
+        }
+        if self.stride != 1:
+            entry["stride"] = self.stride
+        if self.padding != 0:
+            entry["padding"] = self.padding
+        if self.repeats != 1:
+            entry["repeats"] = self.repeats
+        if self.name:
+            entry["name"] = self.name
+        return entry
 
     # ------------------------------------------------------------------
     # Derived geometry

@@ -8,12 +8,13 @@ utilization bars all come from :class:`NetworkMappingReport`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..api.engine import MappingEngine, default_engine
 from ..core.array import PIMArray
 from ..core.cost import CostParams, CostReport, DEFAULT_COST_PARAMS, cost_report
 from ..core.utilization import UtilizationReport, utilization_report
-from ..search import MappingSolution, solve
+from ..search import MappingSolution
 from .layerset import Network
 
 __all__ = ["NetworkMappingReport", "map_network", "compare_schemes"]
@@ -89,22 +90,30 @@ class NetworkMappingReport:
         return out
 
 
-def map_network(network: Network, array: PIMArray,
-                scheme: str) -> NetworkMappingReport:
+def map_network(network: Network, array: PIMArray, scheme: str,
+                engine: Optional[MappingEngine] = None
+                ) -> NetworkMappingReport:
     """Map every layer of *network* onto *array* with *scheme*.
+
+    Routes through *engine* (the shared :func:`repro.api.default_engine`
+    by default), so repeated layer shapes — VGG/ResNet repeat conv
+    shapes heavily — are answered from the solution memo instead of
+    re-running the search.
 
     >>> from repro.core import PIMArray
     >>> from repro.networks import resnet18
     >>> map_network(resnet18(), PIMArray.square(512), "vw-sdk").total_cycles
     4294
     """
-    solutions = tuple(solve(layer, array, scheme) for layer in network)
+    eng = engine if engine is not None else default_engine()
+    solutions = tuple(eng.solve(layer, array, scheme) for layer in network)
     return NetworkMappingReport(network=network, array=array,
                                 scheme=scheme, solutions=solutions)
 
 
 def compare_schemes(network: Network, array: PIMArray,
-                    schemes: Sequence[str] = ("im2col", "sdk", "vw-sdk")
+                    schemes: Sequence[str] = ("im2col", "sdk", "vw-sdk"),
+                    engine: Optional[MappingEngine] = None
                     ) -> Dict[str, NetworkMappingReport]:
     """Map *network* with several schemes; keyed by scheme name.
 
@@ -114,5 +123,5 @@ def compare_schemes(network: Network, array: PIMArray,
     >>> round(reports["vw-sdk"].speedup_over(reports["im2col"]), 2)
     4.67
     """
-    return {scheme: map_network(network, array, scheme)
+    return {scheme: map_network(network, array, scheme, engine=engine)
             for scheme in schemes}

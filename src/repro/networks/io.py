@@ -34,16 +34,11 @@ __all__ = ["network_from_dict", "network_to_dict", "load_network",
 PathLike = Union[str, Path]
 
 
-def _pair(value, what: str) -> tuple:
-    if isinstance(value, (list, tuple)):
-        if len(value) != 2:
-            raise ConfigurationError(f"{what} must be a scalar or [h, w]")
-        return int(value[0]), int(value[1])
-    return int(value), int(value)
-
-
 def network_from_dict(spec: Dict) -> Network:
     """Build a :class:`Network` from a parsed JSON dict.
+
+    Each layer entry uses :meth:`repro.core.ConvLayer.from_dict`'s
+    wire format (shared with the engine API envelopes).
 
     >>> net = network_from_dict({"name": "t", "layers": [
     ...     {"ifm": 8, "kernel": 3, "ic": 2, "oc": 4}]})
@@ -54,42 +49,17 @@ def network_from_dict(spec: Dict) -> Network:
         raise ConfigurationError("network spec needs a non-empty 'layers'")
     layers: List[ConvLayer] = []
     for index, entry in enumerate(spec["layers"], start=1):
-        missing = {"ifm", "kernel", "ic", "oc"} - set(entry)
-        if missing:
-            raise ConfigurationError(
-                f"layer {index} missing keys: {sorted(missing)}")
-        ifm_h, ifm_w = _pair(entry["ifm"], "ifm")
-        k_h, k_w = _pair(entry["kernel"], "kernel")
-        layers.append(ConvLayer(
-            ifm_h=ifm_h, ifm_w=ifm_w, kernel_h=k_h, kernel_w=k_w,
-            in_channels=int(entry["ic"]), out_channels=int(entry["oc"]),
-            stride=int(entry.get("stride", 1)),
-            padding=int(entry.get("padding", 0)),
-            repeats=int(entry.get("repeats", 1)),
-            name=str(entry.get("name", ""))))
+        try:
+            layers.append(ConvLayer.from_dict(entry))
+        except ConfigurationError as error:
+            raise ConfigurationError(f"layer {index}: {error}") from None
     return Network.from_layers(str(spec.get("name", "custom")), layers)
 
 
 def network_to_dict(network: Network) -> Dict:
     """Serialise a network back to the JSON-dict format."""
-    layers = []
-    for layer in network:
-        entry: Dict = {
-            "ifm": [layer.ifm_h, layer.ifm_w],
-            "kernel": [layer.kernel_h, layer.kernel_w],
-            "ic": layer.in_channels,
-            "oc": layer.out_channels,
-        }
-        if layer.stride != 1:
-            entry["stride"] = layer.stride
-        if layer.padding != 0:
-            entry["padding"] = layer.padding
-        if layer.repeats != 1:
-            entry["repeats"] = layer.repeats
-        if layer.name:
-            entry["name"] = layer.name
-        layers.append(entry)
-    return {"name": network.name, "layers": layers}
+    return {"name": network.name,
+            "layers": [layer.to_dict() for layer in network]}
 
 
 def load_network(path: PathLike) -> Network:

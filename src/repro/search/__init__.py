@@ -10,13 +10,19 @@ vw-sdk    :func:`repro.search.vwsdk.vwsdk_solution` (Algorithm 1)
 ========  ====================================================
 
 :func:`solve` dispatches by scheme name, which is what the CLI and the
-network-level analysis use.
+network-level analysis use.  Dispatch goes through the shared
+:class:`repro.api.MappingEngine`, so repeated ``(layer geometry, array,
+scheme)`` problems are answered from its memo instead of re-running the
+search; the solvers register themselves in
+:data:`repro.api.DEFAULT_REGISTRY` and ``SCHEMES`` is now a deprecated
+read-only view of that registry.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from typing import Tuple
 
+from ..api.registry import DEFAULT_REGISTRY, SchemesView
 from ..core.array import PIMArray
 from ..core.layer import ConvLayer
 from .ablation import vwsdk_full_channels_only, vwsdk_square_only
@@ -47,15 +53,10 @@ __all__ = [
     "solve",
 ]
 
-_Solver = Callable[[ConvLayer, PIMArray], MappingSolution]
-
-#: Scheme name -> solver, in the order the paper introduces them.
-SCHEMES: Dict[str, _Solver] = {
-    "im2col": im2col_solution,
-    "smd": smd_solution,
-    "sdk": sdk_solution,
-    "vw-sdk": vwsdk_solution,
-}
+#: Deprecated: live read-only view of :data:`repro.api.DEFAULT_REGISTRY`.
+#: Kept so legacy ``SCHEMES[name]`` / ``sorted(SCHEMES)`` call sites work;
+#: register new schemes with :func:`repro.api.register_scheme` instead.
+SCHEMES: SchemesView = SchemesView(DEFAULT_REGISTRY)
 
 #: The three schemes the paper's evaluation compares (Figs. 8-9).
 PAPER_SCHEMES: Tuple[str, ...] = ("im2col", "sdk", "vw-sdk")
@@ -64,14 +65,15 @@ PAPER_SCHEMES: Tuple[str, ...] = ("im2col", "sdk", "vw-sdk")
 def solve(layer: ConvLayer, array: PIMArray, scheme: str) -> MappingSolution:
     """Map *layer* onto *array* using *scheme* (by name).
 
+    Routes through the shared :func:`repro.api.default_engine`, so a
+    repeated problem is served from its solution memo.  Raises
+    :class:`repro.api.UnknownSchemeError` (a ``ValueError``) for
+    unregistered names.
+
     >>> from repro.core import ConvLayer, PIMArray
     >>> solve(ConvLayer.square(14, 3, 256, 256), PIMArray.square(512),
     ...       "vw-sdk").cycles
     504
     """
-    try:
-        solver = SCHEMES[scheme]
-    except KeyError:
-        known = ", ".join(sorted(SCHEMES))
-        raise ValueError(f"unknown scheme {scheme!r}; known: {known}") from None
-    return solver(layer, array)
+    from ..api.engine import default_engine  # lazy: breaks import cycle
+    return default_engine().solve(layer, array, scheme)

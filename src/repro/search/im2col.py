@@ -9,6 +9,7 @@ split mid-channel) and columns are tiled by output channel — see
 
 from __future__ import annotations
 
+from ..api.registry import register_scheme
 from ..core.array import PIMArray
 from ..core.cycles import im2col_cycles
 from ..core.layer import ConvLayer
@@ -18,6 +19,8 @@ from .result import MappingSolution
 __all__ = ["im2col_solution"]
 
 
+@register_scheme("im2col", capabilities=("baseline", "closed-form"),
+                 summary="im2col baseline: one kernel per column [4]")
 def im2col_solution(layer: ConvLayer, array: PIMArray) -> MappingSolution:
     """Map *layer* on *array* with im2col and return the solution.
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..api.registry import register_scheme
 from ..core.array import PIMArray
 from ..core.cycles import (
     CycleBreakdown,
@@ -69,6 +70,9 @@ def sdk_cycles_for(layer: ConvLayer, array: PIMArray,
     )
 
 
+@register_scheme("sdk", capabilities=("baseline", "duplication",
+                                      "square-window"),
+                 summary="square-window SDK baseline [2]")
 def sdk_solution(layer: ConvLayer, array: PIMArray) -> MappingSolution:
     """Run the SDK-based mapping algorithm of [2] for *layer* on *array*.
 

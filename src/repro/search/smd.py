@@ -17,6 +17,7 @@ with its usual row/column tiling.
 
 from __future__ import annotations
 
+from ..api.registry import register_scheme
 from ..core.array import PIMArray
 from ..core.cycles import CycleBreakdown, im2col_cycles
 from ..core.layer import ConvLayer
@@ -34,6 +35,9 @@ def smd_duplication(layer: ConvLayer, array: PIMArray) -> int:
     return min(by_rows, by_cols)
 
 
+@register_scheme("smd", capabilities=("baseline", "closed-form",
+                                      "duplication"),
+                 summary="sub-matrix duplication baseline [6]")
 def smd_solution(layer: ConvLayer, array: PIMArray) -> MappingSolution:
     """Map *layer* on *array* with sub-matrix duplication.
 

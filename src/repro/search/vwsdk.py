@@ -18,8 +18,10 @@ milliseconds in pure Python.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Iterable, Optional
 
+from ..api.registry import register_scheme
 from ..core.array import PIMArray
 from ..core.cycles import variable_window_cycles
 from ..core.layer import ConvLayer
@@ -54,6 +56,9 @@ def evaluate_window(layer: ConvLayer, array: PIMArray,
     )
 
 
+@register_scheme("vw-sdk", capabilities=("search", "variable-window",
+                                         "partial-channel"),
+                 summary="VW-SDK variable-window search (Algorithm 1)")
 def vwsdk_solution(layer: ConvLayer, array: PIMArray,
                    candidates: Optional[Iterable[ParallelWindow]] = None
                    ) -> MappingSolution:
@@ -77,15 +82,7 @@ def vwsdk_solution(layer: ConvLayer, array: PIMArray,
     >>> str(sol.window), sol.cycles            # paper Table I, ResNet L4
     ('4x3', 504)
     """
-    incumbent = im2col_solution(layer, array)
-    incumbent = MappingSolution(
-        scheme="vw-sdk",
-        layer=layer,
-        array=array,
-        window=incumbent.window,
-        breakdown=incumbent.breakdown,
-        duplication=1,
-    )
+    incumbent = replace(im2col_solution(layer, array), scheme="vw-sdk")
     searched = 0
     if candidates is None:
         candidates = iter_candidate_windows(layer)
@@ -94,12 +91,4 @@ def vwsdk_solution(layer: ConvLayer, array: PIMArray,
         candidate = evaluate_window(layer, array, window)
         if candidate is not None and candidate.cycles < incumbent.cycles:
             incumbent = candidate
-    return MappingSolution(
-        scheme="vw-sdk",
-        layer=layer,
-        array=array,
-        window=incumbent.window,
-        breakdown=incumbent.breakdown,
-        duplication=incumbent.duplication,
-        candidates_searched=searched,
-    )
+    return replace(incumbent, candidates_searched=searched)
