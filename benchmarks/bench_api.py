@@ -78,6 +78,8 @@ def main() -> int:
     """Time both paths once and write BENCH_api.json."""
     from pathlib import Path
 
+    from conftest import bench_payload, validate_bench_payload
+
     from repro.reporting import write_json
 
     batch = full_batch()
@@ -96,23 +98,24 @@ def main() -> int:
         warm = cached.map_batch(batch)
     cached_s = (time.perf_counter() - start) / runs
 
-    payload = {
-        "bench": "api_batch_throughput",
-        "workload": "resnet18+vgg16 x all schemes",
-        "requests": len(batch),
-        "uncached": {
+    payload = bench_payload(
+        "api_batch_throughput",
+        uncached_s, cached_s,
+        workload="resnet18+vgg16 x all schemes",
+        requests=len(batch),
+        uncached={
             "seconds_per_batch": round(uncached_s, 6),
             "requests_per_second": round(len(batch) / uncached_s, 1),
             "solver_calls": cold.stats.solver_calls,
         },
-        "cached": {
+        cached={
             "seconds_per_batch": round(cached_s, 6),
             "requests_per_second": round(len(batch) / cached_s, 1),
             "solver_calls": warm.stats.solver_calls,
             "hit_rate": warm.stats.hit_rate,
         },
-        "speedup": round(uncached_s / cached_s, 2),
-    }
+    )
+    assert not validate_bench_payload(payload)
     path = write_json(Path(__file__).parent / "BENCH_api.json", payload)
     print(f"wrote {path}")
     print(f"uncached: {payload['uncached']['requests_per_second']} req/s  "

@@ -1,0 +1,150 @@
+"""Bench: vectorized window lattice vs. the scalar full-landscape scan.
+
+The acceptance number behind ``repro.core.lattice``: evaluating eq. 1-8
+for *every* candidate window of every distinct ResNet-18 + VGG-16 layer
+at 256x256 and 512x512 arrays — the full-landscape sweep behind
+``cycle_landscape``, ``window_pareto`` and the DSE examples — must be at
+least 10x faster read off one :class:`~repro.core.lattice.CycleLattice`
+than re-run through the scalar reference oracle
+(:func:`repro.search.evaluate_window` per window).
+
+Run under pytest-benchmark::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_lattice.py --benchmark-only
+
+or as a script, which times both paths and writes the comparison to
+``BENCH_lattice.json`` (shared schema, see ``benchmarks/conftest.py``)::
+
+    PYTHONPATH=src python benchmarks/bench_lattice.py
+"""
+
+import time
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.core import ConvLayer, PIMArray, window_lattice
+from repro.core.window import iter_candidate_windows
+from repro.networks import resnet18, vgg16
+from repro.search import evaluate_window
+
+ARRAYS = (PIMArray.square(256), PIMArray.square(512))
+
+
+def distinct_layers() -> List[ConvLayer]:
+    """Distinct conv geometries of the ResNet-18 + VGG-16 zoo entries."""
+    seen: Dict[Tuple[int, ...], ConvLayer] = {}
+    for network in (resnet18(), vgg16()):
+        for layer in network:
+            key = (layer.ifm_h, layer.ifm_w, layer.kernel_h, layer.kernel_w,
+                   layer.in_channels, layer.out_channels)
+            seen.setdefault(key, layer)
+    return list(seen.values())
+
+
+def scalar_sweep(layers, arrays) -> Dict[Tuple[str, str, str], Tuple[int, int]]:
+    """(feasible windows, min cycles) per (layer, array), scalar oracle."""
+    results = {}
+    for layer in layers:
+        for array in arrays:
+            feasible = 0
+            best = None
+            for window in iter_candidate_windows(layer):
+                sol = evaluate_window(layer, array, window)
+                if sol is None:
+                    continue
+                feasible += 1
+                if best is None or sol.cycles < best:
+                    best = sol.cycles
+            results[(f"{layer.ifm_h}x{layer.ifm_w}", layer.shape_str, str(array))] = (feasible, best)
+    return results
+
+
+def lattice_sweep(layers, arrays) -> Dict[Tuple[str, str, str], Tuple[int, int]]:
+    """The same sweep read off one lattice evaluation per problem."""
+    results = {}
+    for layer in layers:
+        for array in arrays:
+            lat = window_lattice(layer, array)
+            mask = lat.feasible.copy()
+            mask[0, 0] = False
+            feasible = int(mask.sum())
+            best = (int(lat.cycles[mask].min()) if feasible else None)
+            results[(f"{layer.ifm_h}x{layer.ifm_w}", layer.shape_str, str(array))] = (feasible, best)
+    return results
+
+
+def test_lattice_sweep_speed(benchmark):
+    """The vectorized full-landscape sweep (the optimized path)."""
+    layers = distinct_layers()
+    result = benchmark(lattice_sweep, layers, ARRAYS)
+    benchmark.extra_info["problems"] = len(result)
+
+
+def test_lattice_sweep_matches_scalar():
+    """Feasibility counts and optima agree with the scalar oracle."""
+    layers = distinct_layers()
+    assert lattice_sweep(layers, ARRAYS) == scalar_sweep(layers, ARRAYS)
+
+
+@pytest.mark.parametrize("size", [256, 512])
+def test_landscape_speedup_at_least_10x(size):
+    """The ISSUE acceptance bound on the biggest zoo layer."""
+    layer = ConvLayer.square(224, 3, 3, 64)
+    array = PIMArray.square(size)
+    start = time.perf_counter()
+    scalar_sweep([layer], [array])
+    scalar_s = time.perf_counter() - start
+    start = time.perf_counter()
+    lattice_sweep([layer], [array])
+    lattice_s = time.perf_counter() - start
+    assert scalar_s / lattice_s >= 10.0
+
+
+def main() -> int:
+    """Time both paths and write BENCH_lattice.json."""
+    from pathlib import Path
+
+    from conftest import bench_payload, validate_bench_payload
+
+    from repro.reporting import write_json
+
+    layers = distinct_layers()
+    cells = sum((layer.padded_ifm_h - layer.kernel_h + 1)
+                * (layer.padded_ifm_w - layer.kernel_w + 1)
+                for layer in layers) * len(ARRAYS)
+
+    start = time.perf_counter()
+    scalar = scalar_sweep(layers, ARRAYS)
+    baseline_s = time.perf_counter() - start
+
+    runs = 10
+    start = time.perf_counter()
+    for _ in range(runs):
+        vectorized = lattice_sweep(layers, ARRAYS)
+    optimized_s = (time.perf_counter() - start) / runs
+
+    assert vectorized == scalar, "lattice sweep diverged from the oracle"
+
+    payload = bench_payload(
+        "lattice_full_landscape",
+        baseline_s, optimized_s,
+        workload=("eq. 1-8 over every candidate window, distinct "
+                  "resnet18+vgg16 layers x 256x256 and 512x512 arrays"),
+        problems=len(scalar),
+        windows_evaluated=cells,
+        scalar_windows_per_second=round(cells / baseline_s, 1),
+        lattice_windows_per_second=round(cells / optimized_s, 1),
+    )
+    assert not validate_bench_payload(payload)
+    assert payload["speedup"] >= 10.0, (
+        f"acceptance bound missed: {payload['speedup']}x < 10x")
+    path = write_json(Path(__file__).parent / "BENCH_lattice.json", payload)
+    print(f"wrote {path}")
+    print(f"scalar: {baseline_s:.3f}s  lattice: {optimized_s:.4f}s  "
+          f"speedup: {payload['speedup']}x over {cells} window evals")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

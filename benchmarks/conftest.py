@@ -4,9 +4,34 @@ Every bench regenerates its paper artifact, asserts the paper-vs-
 measured checks, and reports the reproduced rows/series through
 pytest-benchmark's ``extra_info`` so they land in the benchmark JSON.
 Run with ``pytest benchmarks/ --benchmark-only``.
+
+Benches that persist results write ``BENCH_<name>.json`` next to this
+file.  All such artifacts share one schema so that tooling (and the
+next reader) can diff speedups across PRs without per-bench parsing:
+
+* ``bench`` — the benchmark's name (str);
+* ``wall`` — ``{"baseline_s": float, "optimized_s": float}`` wall-clock
+  seconds of the scalar/uncached baseline and the optimized path;
+* ``speedup`` — ``baseline_s / optimized_s`` (float).
+
+Build payloads with :func:`bench_payload` (extra keys are free-form);
+the autouse :func:`check_bench_artifacts` fixture asserts every
+committed ``BENCH_*.json`` still carries the schema whenever the
+benchmark suite runs under pytest.
 """
 
 from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+import pytest
+
+BENCH_DIR = Path(__file__).parent
+
+#: Top-level keys every BENCH_*.json must carry.
+BENCH_SCHEMA_KEYS = ("bench", "wall", "speedup")
 
 
 def attach_checks(benchmark, checks) -> None:
@@ -15,3 +40,61 @@ def attach_checks(benchmark, checks) -> None:
               for name, expected, measured, ok in checks if not ok]
     assert not failed, f"paper checks failed: {failed}"
     benchmark.extra_info["paper_checks"] = len(checks)
+
+
+def bench_payload(name: str, baseline_s: float, optimized_s: float,
+                  **extra) -> Dict[str, object]:
+    """A schema-conforming ``BENCH_*.json`` payload.
+
+    ``baseline_s`` / ``optimized_s`` are mean wall-clock seconds of the
+    baseline and optimized paths; any ``extra`` keys are carried
+    through verbatim.
+    """
+    payload: Dict[str, object] = {
+        "bench": name,
+        "wall": {
+            "baseline_s": round(baseline_s, 6),
+            "optimized_s": round(optimized_s, 6),
+        },
+        "speedup": round(baseline_s / optimized_s, 2),
+    }
+    payload.update(extra)
+    return payload
+
+
+def validate_bench_payload(payload: Dict[str, object],
+                           source: str = "payload") -> List[str]:
+    """Return the list of schema violations (empty when conforming)."""
+    problems: List[str] = []
+    for key in BENCH_SCHEMA_KEYS:
+        if key not in payload:
+            problems.append(f"{source}: missing key {key!r}")
+    if not isinstance(payload.get("bench", ""), str):
+        problems.append(f"{source}: 'bench' must be a string name")
+    wall = payload.get("wall", {})
+    if not isinstance(wall, dict):
+        problems.append(f"{source}: 'wall' must be an object")
+    else:
+        for key in ("baseline_s", "optimized_s"):
+            if not isinstance(wall.get(key), (int, float)):
+                problems.append(f"{source}: 'wall.{key}' must be a number")
+    if "speedup" in payload and not isinstance(payload["speedup"],
+                                               (int, float)):
+        problems.append(f"{source}: 'speedup' must be a number")
+    return problems
+
+
+@pytest.fixture(scope="session", autouse=True)
+def check_bench_artifacts():
+    """Assert every committed BENCH_*.json carries the shared schema."""
+    problems: List[str] = []
+    for path in sorted(BENCH_DIR.glob("BENCH_*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            problems.append(f"{path.name}: not valid JSON ({exc})")
+            continue
+        problems.extend(validate_bench_payload(payload, source=path.name))
+    assert not problems, "BENCH_*.json schema violations:\n" + \
+        "\n".join(problems)
+    yield

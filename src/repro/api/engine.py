@@ -11,6 +11,12 @@ comparison across schemes solves each distinct ``(geometry, array,
 scheme)`` problem exactly once: VGG/ResNet repeat conv shapes heavily
 and the paper's Algorithm 1 scan is the hot path this amortises.
 
+The batch path composes with the vectorized search core: each cache
+miss for a search scheme (``vw-sdk`` and its ablations) evaluates the
+whole window grid as one :class:`~repro.core.lattice.CycleLattice`
+instead of a scalar Python scan, so an uncached batch is NumPy-bound
+and a warmed batch is memo-bound.
+
 Cache-hit solutions are *rebound* to the requesting layer
 (``dataclasses.replace(sol, layer=request.layer)``), so a hit served
 from conv3_1's solution still reports conv3_2's name and repeat count

@@ -5,6 +5,8 @@ Public surface:
 * :class:`ConvLayer`, :class:`PIMArray`, :class:`ParallelWindow` — the
   problem vocabulary.
 * :mod:`repro.core.cycles` — eqs. 1-8 (cycle counts).
+* :mod:`repro.core.lattice` — eqs. 1-8 vectorized over the whole
+  parallel-window grid (the shared search core).
 * :mod:`repro.core.utilization` — eq. 9 (used-cell fractions).
 * :mod:`repro.core.cost` — latency/energy on top of cycles.
 * :mod:`repro.core.strided` — stride/padding generalisation (extension).
@@ -26,6 +28,7 @@ from .cycles import (
 )
 from .cost import DEFAULT_COST_PARAMS, CostParams, CostReport, cost_report
 from .grouped import GroupedMapping, depthwise_mapping, grouped_mapping
+from .lattice import CycleLattice, strided_lattice, window_lattice
 from .layer import ConvLayer
 from .presets import DEVICE_PRESETS, preset
 from .strided import (
@@ -61,6 +64,9 @@ __all__ = [
     "ac_cycles",
     "variable_window_cycles",
     "im2col_cycles",
+    "CycleLattice",
+    "window_lattice",
+    "strided_lattice",
     "TileUsage",
     "UtilizationReport",
     "utilization_report",

@@ -1,0 +1,273 @@
+"""Vectorized window-lattice evaluation of the paper's cycle model.
+
+Algorithm 1 scans every rectangular parallel window between the kernel
+size and the IFM size, evaluating eqs. 1-8 per window.  The scalar
+model (:mod:`repro.core.cycles`, :mod:`repro.core.strided`) stays the
+reference oracle; this module evaluates the *whole candidate grid at
+once* as NumPy integer arrays, so full-landscape consumers (Algorithm 1
+itself, the exhaustive oracle, ablations, Pareto sweeps, DSE) read one
+precomputed lattice instead of re-running tens of thousands of
+interpreted evaluations.
+
+Axes and their paper meaning
+----------------------------
+A :class:`CycleLattice` is a 2-D grid indexed ``[i, j]``:
+
+* axis 0 (``i``) counts kernel windows grouped **vertically**:
+  ``nw_h = i + 1`` windows, pixel extent ``PW_h = K_h + i * stride``
+  (for stride 1 simply ``PW_h = K_h + i``);
+* axis 1 (``j``) counts kernel windows grouped **horizontally**:
+  ``nw_w = j + 1``, ``PW_w = K_w + j * stride``.
+
+Cell ``[0, 0]`` is the kernel-sized window evaluated with
+*whole-channel* tiling (eq. 4/5 accounting); Algorithm 1 instead
+initialises its incumbent with the fine-grained im2col count (eq. 1),
+which callers obtain from :func:`repro.core.cycles.im2col_cycles`.
+
+Per-cell quantities and the equations they vectorize:
+
+==================  =====================================================
+array               paper equation
+==================  =====================================================
+``windows_inside``  ``N_w^P = nw_h * nw_w`` (windows per PW position)
+``n_pw``            eq. 3: ``ceil(OFM_h/nw_h) * ceil(OFM_w/nw_w)``
+``ic_t``            eq. 4: ``min(floor(rows / (PW_h*PW_w)), IC)``
+``ar``              eq. 5: ``ceil(IC / IC_t)``
+``oc_t``            eq. 6: ``min(floor(cols / N_w^P), OC)``
+``ac``              eq. 7: ``ceil(OC / OC_t)``
+``cycles``          eq. 8: ``n_pw * ar * ac``
+``feasible``        mask: window fits the padded IFM, hosts >= 1 input
+                    channel in the rows and >= 1 output channel in the
+                    columns
+==================  =====================================================
+
+Infeasible cells hold 0 in every derived array; use
+:meth:`CycleLattice.masked_cycles` (infeasible -> ``INFEASIBLE``
+sentinel) for argmin-style reductions.
+
+Because NumPy's ``argmin`` returns the *first* minimum in row-major
+order and the lattice's row-major order is exactly Algorithm 1's
+width-major scan (``PW_h`` outer, ``PW_w`` inner), paper-exact
+first-found tie-breaking is a single flat ``argmin`` — see
+:mod:`repro.search.space`.
+
+>>> from repro.core import ConvLayer, PIMArray
+>>> lat = window_lattice(ConvLayer.square(14, 3, 256, 256),
+...                      PIMArray.square(512))
+>>> lat.shape                     # 12x12 windows: 3x3 .. 14x14
+(12, 12)
+>>> int(lat.cycles[0, 1])         # PW 3x4 == paper Table I ResNet L4
+504
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .array import PIMArray
+from .cycles import CycleBreakdown
+from .layer import ConvLayer
+from .types import MappingError
+from .window import ParallelWindow
+
+__all__ = ["CycleLattice", "window_lattice", "strided_lattice",
+           "INFEASIBLE"]
+
+#: Sentinel cycle count for infeasible cells in masked reductions; no
+#: real mapping reaches it (int64 max).
+INFEASIBLE: int = np.iinfo(np.int64).max
+
+
+@dataclass(frozen=True)
+class CycleLattice:
+    """Eqs. 1-8 evaluated over the whole parallel-window grid.
+
+    All 2-D arrays share the shape ``(len(nw_h), len(nw_w))`` and dtype
+    ``int64``; see the module docstring for the axis/equation map.
+    """
+
+    layer: ConvLayer
+    array: PIMArray
+    #: Windows grouped per axis: ``nw_h[i] = i + 1`` (axis 0),
+    #: ``nw_w[j] = j + 1`` (axis 1).
+    nw_h: np.ndarray
+    nw_w: np.ndarray
+    #: Pixel extent per axis: ``pw_h[i] = K_h + i * stride`` etc.
+    pw_h: np.ndarray
+    pw_w: np.ndarray
+    feasible: np.ndarray
+    ic_t: np.ndarray
+    oc_t: np.ndarray
+    ar: np.ndarray
+    ac: np.ndarray
+    n_pw: np.ndarray
+    cycles: np.ndarray
+
+    # ------------------------------------------------------------------
+    # Shape and derived grids
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Grid shape ``(heights, widths)``."""
+        return self.cycles.shape
+
+    @property
+    def size(self) -> int:
+        """Number of grid cells (feasible or not)."""
+        return self.cycles.size
+
+    @property
+    def windows_inside(self) -> np.ndarray:
+        """``N_w^P`` per cell (outer product of the ``nw`` axes)."""
+        return self.nw_h[:, None] * self.nw_w[None, :]
+
+    @property
+    def area(self) -> np.ndarray:
+        """Pixel area ``PW_h * PW_w`` per cell."""
+        return self.pw_h[:, None] * self.pw_w[None, :]
+
+    # ------------------------------------------------------------------
+    # Cell accessors (bridges back to the scalar vocabulary)
+    # ------------------------------------------------------------------
+    def window_at(self, i: int, j: int) -> ParallelWindow:
+        """The pixel-extent :class:`ParallelWindow` of cell ``[i, j]``."""
+        return ParallelWindow(h=int(self.pw_h[i]), w=int(self.pw_w[j]))
+
+    def breakdown_at(self, i: int, j: int) -> CycleBreakdown:
+        """The scalar :class:`CycleBreakdown` of cell ``[i, j]``.
+
+        Raises :class:`MappingError` on infeasible cells, mirroring the
+        scalar model's behaviour.
+        """
+        if not bool(self.feasible[i, j]):
+            raise MappingError(
+                f"window {self.window_at(i, j)} is infeasible on "
+                f"{self.array} for {self.layer.describe()}")
+        return CycleBreakdown(
+            n_pw=int(self.n_pw[i, j]),
+            ar=int(self.ar[i, j]),
+            ac=int(self.ac[i, j]),
+            ic_t=int(self.ic_t[i, j]),
+            oc_t=int(self.oc_t[i, j]),
+        )
+
+    def masked_cycles(self, mask: np.ndarray = None) -> np.ndarray:
+        """Cycle grid with ineligible cells set to :data:`INFEASIBLE`.
+
+        ``mask`` (optional, bool) further restricts eligibility beyond
+        the feasibility mask — the subspace hook used by
+        :class:`repro.search.space.CandidateSpace`.
+        """
+        eligible = self.feasible if mask is None else (self.feasible & mask)
+        return np.where(eligible, self.cycles, INFEASIBLE)
+
+    # ------------------------------------------------------------------
+    # Vectorized utilization (paper eq. 9, whole-channel tiling)
+    # ------------------------------------------------------------------
+    def mean_utilization_pct(self) -> np.ndarray:
+        """Eq. 9 mean used-cell percentage per cell (float64).
+
+        Closed form of the tile-grid average: each of the ``AR * AC``
+        tiles uses ``K_h*K_w * ic_tile * N_w^P * oc_tile`` cells and the
+        tile sizes sum to ``IC`` / ``OC``, so the grid mean collapses to
+        ``K_area * N_w^P * IC * OC / (AR * AC * cells)``.  Infeasible
+        cells hold ``nan``.
+        """
+        layer, array = self.layer, self.array
+        num = (100.0 * layer.kernel_area * self.windows_inside
+               * layer.in_channels * layer.out_channels)
+        den = np.maximum(self.ar * self.ac, 1) * float(array.cells)
+        return np.where(self.feasible, num / den, np.nan)
+
+    def peak_utilization_pct(self) -> np.ndarray:
+        """Best single-tile used-cell percentage per cell (float64).
+
+        The largest tile pairs the full ``IC_t`` with the full ``OC_t``:
+        ``K_area * IC_t * N_w^P * OC_t / cells``.  Infeasible cells hold
+        ``nan``.
+        """
+        num = (100.0 * self.layer.kernel_area * self.windows_inside
+               * self.ic_t * self.oc_t)
+        return np.where(self.feasible, num / float(self.array.cells),
+                        np.nan)
+
+
+def _build_lattice(layer: ConvLayer, array: PIMArray) -> CycleLattice:
+    """Evaluate the full window grid for *layer* on *array*.
+
+    Works for any stride: windows are counted in window-index space
+    (``nw`` consecutive kernel windows span ``K + (nw-1)*stride``
+    pixels), which reduces exactly to the paper's pixel-space grid at
+    stride 1.
+    """
+    nw_h = np.arange(1, layer.ofm_h + 1, dtype=np.int64)
+    nw_w = np.arange(1, layer.ofm_w + 1, dtype=np.int64)
+    pw_h = layer.kernel_h + (nw_h - 1) * layer.stride
+    pw_w = layer.kernel_w + (nw_w - 1) * layer.stride
+
+    area = pw_h[:, None] * pw_w[None, :]
+    windows = nw_h[:, None] * nw_w[None, :]
+
+    ic_per_array = array.rows // area                       # eq. 4 (floor)
+    oc_per_array = array.cols // windows                    # eq. 6 (floor)
+    feasible = ((ic_per_array >= 1) & (oc_per_array >= 1)
+                & (pw_h[:, None] <= layer.padded_ifm_h)
+                & (pw_w[None, :] <= layer.padded_ifm_w))
+
+    ic_t = np.minimum(ic_per_array, layer.in_channels)      # eq. 4 (cap)
+    oc_t = np.minimum(oc_per_array, layer.out_channels)     # eq. 6 (cap)
+    ar = -(-layer.in_channels // np.maximum(ic_t, 1))       # eq. 5
+    ac = -(-layer.out_channels // np.maximum(oc_t, 1))      # eq. 7
+    n_pw = ((-(-layer.ofm_h // nw_h))[:, None]
+            * (-(-layer.ofm_w // nw_w))[None, :])           # eq. 3
+    cycles = n_pw * ar * ac                                 # eq. 8
+
+    zero = np.int64(0)
+    return CycleLattice(
+        layer=layer, array=array, nw_h=nw_h, nw_w=nw_w,
+        pw_h=pw_h, pw_w=pw_w, feasible=feasible,
+        ic_t=np.where(feasible, ic_t, zero),
+        oc_t=np.where(feasible, oc_t, zero),
+        ar=np.where(feasible, ar, zero),
+        ac=np.where(feasible, ac, zero),
+        n_pw=np.where(feasible, n_pw, zero),
+        cycles=np.where(feasible, cycles, zero),
+    )
+
+
+def window_lattice(layer: ConvLayer, array: PIMArray) -> CycleLattice:
+    """The stride-1 lattice over every ``ParallelWindow`` shape.
+
+    Cell ``[i, j]`` matches the scalar
+    :func:`repro.core.cycles.variable_window_cycles` for the window
+    ``(K_h + i) x (K_w + j)`` — property-tested element for element.
+    Raises :class:`MappingError` for strided layers, whose window count
+    is not the paper's ``PW - K + 1``; use :func:`strided_lattice` (or
+    :meth:`ConvLayer.folded`) instead.
+
+    >>> from repro.core import ConvLayer, PIMArray
+    >>> lat = window_lattice(ConvLayer.square(7, 3, 512, 512),
+    ...                      PIMArray.square(512))
+    >>> str(lat.window_at(0, 1)), int(lat.cycles[0, 1])
+    ('4x3', 390)
+    """
+    if layer.stride != 1:
+        raise MappingError(
+            f"window_lattice models stride-1 layers; got stride "
+            f"{layer.stride} (use strided_lattice or layer.folded())")
+    return _build_lattice(layer, array)
+
+
+def strided_lattice(layer: ConvLayer, array: PIMArray) -> CycleLattice:
+    """The lattice over every ``StridedWindow`` group shape.
+
+    Cell ``[i, j]`` matches the scalar
+    :func:`repro.core.strided.strided_breakdown` for
+    ``StridedWindow(nw_h=i+1, nw_w=j+1)`` — property-tested element for
+    element.  For ``stride == 1`` this is identical to
+    :func:`window_lattice`.
+    """
+    return _build_lattice(layer, array)

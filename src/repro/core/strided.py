@@ -29,8 +29,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Optional, Tuple
 
+import numpy as np
+
 from .array import PIMArray
 from .cycles import CycleBreakdown
+from .lattice import strided_lattice
 from .layer import ConvLayer
 from .types import MappingError, ceil_div, require_positive_int
 from .window import ParallelWindow
@@ -150,8 +153,12 @@ class StridedSolution:
 def search_strided(layer: ConvLayer, array: PIMArray) -> StridedSolution:
     """VW-SDK search generalised to strided/padded layers.
 
-    For ``stride == 1, padding == 0`` this returns the same cycle count
-    as :func:`repro.search.vwsdk.vwsdk_solution` (property-tested).
+    Evaluates the whole window-group grid on the vectorized
+    :func:`repro.core.lattice.strided_lattice`; the row-major argmin
+    reproduces the scalar loop's first-found tie-breaking (the scalar
+    :func:`strided_breakdown` stays the property-tested oracle).  For
+    ``stride == 1, padding == 0`` this returns the same cycle count as
+    :func:`repro.search.vwsdk.vwsdk_solution` (property-tested).
 
     >>> from repro.core import ConvLayer, PIMArray
     >>> conv1 = ConvLayer.square(224, 7, 3, 64, stride=2, padding=3)
@@ -161,12 +168,15 @@ def search_strided(layer: ConvLayer, array: PIMArray) -> StridedSolution:
     """
     best_window = StridedWindow(1, 1)
     best = strided_im2col_breakdown(layer, array)
-    for window in iter_strided_candidates(layer):
-        try:
-            candidate = strided_breakdown(layer, array, window)
-        except MappingError:
-            continue
-        if candidate.total < best.total:
-            best, best_window = candidate, window
+    lattice = strided_lattice(layer, array)
+    mask = lattice.feasible.copy()
+    mask[0, 0] = False  # im2col handled by the initialiser
+    if mask.any():
+        masked = lattice.masked_cycles(mask)
+        i, j = np.unravel_index(int(np.argmin(masked)), masked.shape)
+        if int(lattice.cycles[i, j]) < best.total:
+            best = lattice.breakdown_at(int(i), int(j))
+            best_window = StridedWindow(nw_h=int(lattice.nw_h[i]),
+                                        nw_w=int(lattice.nw_w[j]))
     return StridedSolution(layer=layer, array=array, window=best_window,
                            breakdown=best)

@@ -20,7 +20,8 @@ from typing import Iterator, Tuple
 from .layer import ConvLayer
 from .types import ConfigurationError, MappingError, require_positive_int
 
-__all__ = ["ParallelWindow", "iter_candidate_windows"]
+__all__ = ["ParallelWindow", "iter_candidate_windows",
+           "num_candidate_windows"]
 
 
 @dataclass(frozen=True, order=True)
@@ -61,7 +62,12 @@ class ParallelWindow:
         w_text, _, h_text = text.partition("x")
         if not h_text:
             raise ConfigurationError(f"window spec must look like '4x3', got {spec!r}")
-        return cls(h=int(h_text), w=int(w_text))
+        try:
+            h, w = int(h_text), int(w_text)
+        except ValueError:
+            raise ConfigurationError(
+                f"window spec must look like '4x3', got {spec!r}") from None
+        return cls(h=h, w=w)
 
     # ------------------------------------------------------------------
     @property
@@ -118,6 +124,19 @@ class ParallelWindow:
 
     def __str__(self) -> str:  # noqa: D105 - paper-style "WxH"
         return f"{self.w}x{self.h}"
+
+
+def num_candidate_windows(layer: ConvLayer) -> int:
+    """How many windows Algorithm 1's scan visits for *layer*.
+
+    The full ``(K..I_h) x (K..I_w)`` grid minus the kernel-sized cell —
+    the length of :func:`iter_candidate_windows` without iterating it.
+
+    >>> num_candidate_windows(ConvLayer.square(14, 3, 8, 8))
+    143
+    """
+    return ((layer.padded_ifm_h - layer.kernel_h + 1)
+            * (layer.padded_ifm_w - layer.kernel_w + 1) - 1)
 
 
 def iter_candidate_windows(layer: ConvLayer) -> Iterator[ParallelWindow]:

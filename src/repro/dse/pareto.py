@@ -5,17 +5,24 @@ utilization (smaller windows waste fewer cells on the last channel
 tile).  :func:`window_pareto` extracts the cycles-vs-utilization
 frontier of a layer's full window landscape, which DSE examples use to
 show how sharp — or flat — the trade-off is.
+
+:func:`window_pareto` reads cycles *and* the eq. 9 utilization straight
+off the vectorized lattice (closed-form whole-channel tile accounting,
+see :meth:`repro.core.lattice.CycleLattice.mean_utilization_pct`) and
+extracts the two-objective frontier with a sort-and-scan instead of the
+generic O(n^2) :func:`pareto_front`, so full-landscape sweeps over
+224x224 layers stay interactive.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, Tuple, TypeVar
+from typing import Callable, List, Sequence, Tuple, TypeVar, Union
 
 from ..core.array import PIMArray
 from ..core.layer import ConvLayer
 from ..core.utilization import utilization_report
-from ..search import enumerate_feasible
+from ..search import CandidateSpace, enumerate_feasible
 
 __all__ = ["ParetoPoint", "pareto_front", "window_pareto"]
 
@@ -60,6 +67,11 @@ class ParetoPoint:
     peak_utilization_pct: float
 
 
+#: A landscape entry before frontier extraction: display label (or a
+#: lattice cell awaiting one), cycles, mean %, peak %.
+_Entry = Tuple[Union[str, Tuple[int, int]], int, float, float]
+
+
 def window_pareto(layer: ConvLayer, array: PIMArray) -> List[ParetoPoint]:
     """Cycles-vs-(negated)-utilization frontier over all windows.
 
@@ -67,15 +79,47 @@ def window_pareto(layer: ConvLayer, array: PIMArray) -> List[ParetoPoint]:
     cycle-optimal window (Algorithm 1's answer), the last the
     utilization-optimal one.
     """
-    points: List[ParetoPoint] = []
-    for solution in enumerate_feasible(layer, array):
-        report = utilization_report(solution)
-        points.append(ParetoPoint(
-            window=str(solution.window),
-            cycles=solution.cycles,
-            mean_utilization_pct=report.mean_pct,
-            peak_utilization_pct=report.peak_pct,
-        ))
-    front = pareto_front(
-        points, lambda p: (p.cycles, -p.mean_utilization_pct))
-    return sorted(front, key=lambda p: p.cycles)
+    # The kernel-sized im2col entry keeps the scalar eq. 9 accounting
+    # (fine-grained row chunks); every other window reads the lattice.
+    base = next(iter(enumerate_feasible(layer, array)))
+    report = utilization_report(base)
+    entries: List[_Entry] = [(str(base.window), base.cycles,
+                              report.mean_pct, report.peak_pct)]
+    lattice = None
+    if layer.stride == 1:
+        space = CandidateSpace.stride1(layer, array)
+        lattice = space.lattice
+        mean = lattice.mean_utilization_pct()
+        peak = lattice.peak_utilization_pct()
+        entries.extend(
+            ((i, j), int(lattice.cycles[i, j]),
+             float(mean[i, j]), float(peak[i, j]))
+            for i, j in space.iter_cells(order="area"))
+
+    # Two-objective minimising front by sort-and-scan: a point is
+    # dominated iff some strictly cheaper point matches its utilization,
+    # or some point at most as expensive strictly beats it.
+    order = sorted(range(len(entries)), key=lambda k: entries[k][1])
+    front: List[ParetoPoint] = []
+    best_u_cheaper = float("-inf")
+    start = 0
+    while start < len(order):
+        stop = start
+        cycles = entries[order[start]][1]
+        while stop < len(order) and entries[order[stop]][1] == cycles:
+            stop += 1
+        group = order[start:stop]
+        group_best_u = max(entries[k][2] for k in group)
+        for k in group:
+            label, _, mean_pct, peak_pct = entries[k]
+            if best_u_cheaper >= mean_pct or group_best_u > mean_pct:
+                continue
+            if not isinstance(label, str):
+                label = str(lattice.window_at(*label))
+            front.append(ParetoPoint(
+                window=label, cycles=cycles,
+                mean_utilization_pct=mean_pct,
+                peak_utilization_pct=peak_pct))
+        best_u_cheaper = max(best_u_cheaper, group_best_u)
+        start = stop
+    return front

@@ -31,6 +31,7 @@ from .im2col import im2col_solution
 from .result import MappingSolution, best_of
 from .sdk import sdk_cycles_for, sdk_solution, sdk_window_for_duplication
 from .smd import smd_duplication, smd_solution
+from .space import SEARCH_ORDERS, CandidateSpace, lattice_solution
 from .vwsdk import evaluate_window, vwsdk_solution
 
 __all__ = [
@@ -49,6 +50,9 @@ __all__ = [
     "exhaustive_solution",
     "enumerate_feasible",
     "cycle_landscape",
+    "CandidateSpace",
+    "lattice_solution",
+    "SEARCH_ORDERS",
     "SCHEMES",
     "solve",
 ]

@@ -10,6 +10,13 @@ DESIGN.md ablation benches print the resulting totals):
 * :func:`vwsdk_full_channels_only` — any window shape, but all input
   channels must fit in one row tile, i.e. ``IC_t >= IC`` (isolates the
   value of channel tiling).
+
+Both are masked subspaces of the same vectorized lattice Algorithm 1
+scans (:meth:`~repro.search.space.CandidateSpace.square_only`,
+:meth:`~repro.search.space.CandidateSpace.full_channels_only`), so an
+ablation costs one mask instead of a second scalar scan.  Strided
+layers fall back to the scalar loop, which concludes — like Algorithm 1
+— that only the im2col initialisation applies.
 """
 
 from __future__ import annotations
@@ -18,9 +25,14 @@ from typing import Iterator
 
 from ..core.array import PIMArray
 from ..core.layer import ConvLayer
-from ..core.window import ParallelWindow, iter_candidate_windows
+from ..core.window import (
+    ParallelWindow,
+    iter_candidate_windows,
+    num_candidate_windows,
+)
 from .im2col import im2col_solution
 from .result import MappingSolution
+from .space import CandidateSpace, lattice_solution
 from .vwsdk import evaluate_window
 
 __all__ = ["vwsdk_square_only", "vwsdk_full_channels_only"]
@@ -35,8 +47,9 @@ def _square_candidates(layer: ConvLayer) -> Iterator[ParallelWindow]:
             yield window
 
 
-def _search(layer: ConvLayer, array: PIMArray, candidates,
-            require_full_channels: bool) -> MappingSolution:
+def _search_scalar(layer: ConvLayer, array: PIMArray, candidates,
+                   require_full_channels: bool) -> MappingSolution:
+    """Reference scalar scan (also the strided-layer fallback)."""
     base = im2col_solution(layer, array)
     incumbent = MappingSolution(
         scheme="vw-sdk", layer=layer, array=array, window=base.window,
@@ -58,6 +71,21 @@ def _search(layer: ConvLayer, array: PIMArray, candidates,
         duplication=incumbent.duplication, candidates_searched=searched)
 
 
+def _search_lattice(layer: ConvLayer, array: PIMArray,
+                    space: CandidateSpace,
+                    searched: int) -> MappingSolution:
+    """Scan-order argmin over a masked subspace, im2col incumbent."""
+    base = im2col_solution(layer, array)
+    best = space.first_improvement(base.cycles)
+    if best is None:
+        return MappingSolution(
+            scheme="vw-sdk", layer=layer, array=array, window=base.window,
+            breakdown=base.breakdown, duplication=1,
+            candidates_searched=searched)
+    return lattice_solution(space.lattice, *best,
+                            candidates_searched=searched)
+
+
 def vwsdk_square_only(layer: ConvLayer, array: PIMArray) -> MappingSolution:
     """Algorithm 1 restricted to square parallel windows.
 
@@ -68,8 +96,16 @@ def vwsdk_square_only(layer: ConvLayer, array: PIMArray) -> MappingSolution:
     >>> vwsdk_square_only(layer, PIMArray.square(512)).cycles
     576
     """
-    return _search(layer, array, _square_candidates(layer),
-                   require_full_channels=False)
+    if layer.stride != 1:
+        return _search_scalar(layer, array, _square_candidates(layer),
+                              require_full_channels=False)
+    # Candidate count mirrors the scalar generator: one square per size
+    # from max(K)+1 up to the short IFM side.
+    limit = min(layer.padded_ifm_h, layer.padded_ifm_w)
+    start = max(layer.kernel_h, layer.kernel_w) + 1
+    searched = max(0, limit - start + 1)
+    space = CandidateSpace.stride1(layer, array).square_only()
+    return _search_lattice(layer, array, space, searched)
 
 
 def vwsdk_full_channels_only(layer: ConvLayer,
@@ -79,5 +115,9 @@ def vwsdk_full_channels_only(layer: ConvLayer,
     Still allows rectangles — this is "SDK with free shapes but no
     channel tiling".
     """
-    return _search(layer, array, iter_candidate_windows(layer),
-                   require_full_channels=True)
+    if layer.stride != 1:
+        return _search_scalar(layer, array, iter_candidate_windows(layer),
+                              require_full_channels=True)
+    searched = num_candidate_windows(layer)
+    space = CandidateSpace.stride1(layer, array).full_channels_only()
+    return _search_lattice(layer, array, space, searched)

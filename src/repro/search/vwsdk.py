@@ -1,19 +1,22 @@
 """VW-SDK — the paper's contribution (Algorithm 1).
 
 The search initialises its incumbent with the im2col cycle count, then
-scans every parallel-window shape from ``(K_w+1, K_h)`` up to the IFM
-size — width-major, exactly the paper's loop order — evaluating eq. 8
-for each, and keeps the first window that achieves the minimum (the
-incumbent is replaced only on *strict* improvement, which is what makes
-VGG-13 layer 1 report ``10x3`` rather than the tying ``4x6``).
+considers every parallel-window shape from ``(K_w+1, K_h)`` up to the
+IFM size and keeps the first window (in the paper's width-major scan
+order) that achieves the minimum — the incumbent is replaced only on
+*strict* improvement, which is what makes VGG-13 layer 1 report
+``10x3`` rather than the tying ``4x6``.
 
 Windows that cannot host even one input channel in the array rows, or
 one output channel's duplicated kernels in the array columns, are
 skipped as infeasible.
 
-Complexity: ``O(I_h * I_w)`` window evaluations, each ``O(1)`` — a few
-tens of thousands of integer evaluations for a 224x224 layer, i.e.
-milliseconds in pure Python.
+The whole grid is evaluated in one shot on the vectorized
+:func:`~repro.core.lattice.window_lattice`; the lattice's row-major
+``argmin`` reproduces the scalar loop's first-found tie-breaking
+exactly (property-tested against :func:`evaluate_window`, which stays
+the scalar reference oracle).  Passing an explicit ``candidates``
+sequence still runs the scalar loop — that is the oracle/testing hook.
 """
 
 from __future__ import annotations
@@ -26,9 +29,10 @@ from ..core.array import PIMArray
 from ..core.cycles import variable_window_cycles
 from ..core.layer import ConvLayer
 from ..core.types import MappingError
-from ..core.window import ParallelWindow, iter_candidate_windows
+from ..core.window import ParallelWindow, num_candidate_windows
 from .im2col import im2col_solution
 from .result import MappingSolution
+from .space import CandidateSpace, lattice_solution
 
 __all__ = ["vwsdk_solution", "evaluate_window"]
 
@@ -57,7 +61,7 @@ def evaluate_window(layer: ConvLayer, array: PIMArray,
 
 
 @register_scheme("vw-sdk", capabilities=("search", "variable-window",
-                                         "partial-channel"),
+                                         "partial-channel", "vectorized"),
                  summary="VW-SDK variable-window search (Algorithm 1)")
 def vwsdk_solution(layer: ConvLayer, array: PIMArray,
                    candidates: Optional[Iterable[ParallelWindow]] = None
@@ -69,8 +73,9 @@ def vwsdk_solution(layer: ConvLayer, array: PIMArray,
     layer, array:
         The problem instance.
     candidates:
-        Override the scanned window sequence (used by tests and by the
-        exhaustive oracle); defaults to the paper's width-major scan.
+        Override the scanned window sequence with a scalar loop (used
+        by tests and by the exhaustive oracle); defaults to evaluating
+        the paper's full width-major grid on the vectorized lattice.
 
     Returns the :class:`~repro.search.result.MappingSolution` with the
     minimum computing cycles; degenerates to the im2col solution when no
@@ -83,12 +88,25 @@ def vwsdk_solution(layer: ConvLayer, array: PIMArray,
     ('4x3', 504)
     """
     incumbent = replace(im2col_solution(layer, array), scheme="vw-sdk")
-    searched = 0
-    if candidates is None:
-        candidates = iter_candidate_windows(layer)
-    for window in candidates:
-        searched += 1
-        candidate = evaluate_window(layer, array, window)
-        if candidate is not None and candidate.cycles < incumbent.cycles:
-            incumbent = candidate
-    return replace(incumbent, candidates_searched=searched)
+    if candidates is not None:
+        searched = 0
+        for window in candidates:
+            searched += 1
+            candidate = evaluate_window(layer, array, window)
+            if candidate is not None and candidate.cycles < incumbent.cycles:
+                incumbent = candidate
+        return replace(incumbent, candidates_searched=searched)
+
+    # The default grid scan, vectorized.  `searched` keeps the scalar
+    # loop's convention: every grid cell except the kernel-sized one.
+    searched = num_candidate_windows(layer)
+    if layer.stride != 1:
+        # The stride-1 window count does not apply; every non-kernel
+        # window is infeasible, exactly as the scalar scan concludes.
+        return replace(incumbent, candidates_searched=searched)
+    space = CandidateSpace.stride1(layer, array)
+    best = space.first_improvement(incumbent.cycles)
+    if best is None:
+        return replace(incumbent, candidates_searched=searched)
+    return lattice_solution(space.lattice, *best,
+                            candidates_searched=searched)

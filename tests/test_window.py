@@ -41,6 +41,15 @@ class TestConstruction:
         with pytest.raises(ConfigurationError):
             ParallelWindow.parse("10")
 
+    @pytest.mark.parametrize("spec", ["axb", "ax3", "4xb", "x", "4x3x2",
+                                      "4.5x3"])
+    def test_parse_rejects_non_integer_spec(self, spec):
+        # Regression: non-numeric parts used to escape as a bare
+        # ValueError from int() instead of ConfigurationError.
+        with pytest.raises(ConfigurationError,
+                           match="window spec must look like '4x3'"):
+            ParallelWindow.parse(spec)
+
     def test_transposed(self):
         assert ParallelWindow(h=3, w=10).transposed() == ParallelWindow(
             h=10, w=3)
