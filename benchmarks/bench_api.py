@@ -101,6 +101,7 @@ def main() -> int:
     payload = bench_payload(
         "api_batch_throughput",
         uncached_s, cached_s,
+        floor=10.0,
         workload="resnet18+vgg16 x all schemes",
         requests=len(batch),
         uncached={
@@ -115,6 +116,7 @@ def main() -> int:
             "hit_rate": warm.stats.hit_rate,
         },
     )
+    # validate_bench_payload also enforces speedup >= floor.
     assert not validate_bench_payload(payload)
     path = write_json(Path(__file__).parent / "BENCH_api.json", payload)
     print(f"wrote {path}")

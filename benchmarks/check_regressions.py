@@ -1,0 +1,56 @@
+"""CI perf-regression guard for the committed ``BENCH_*.json`` artifacts.
+
+Every benchmark artifact asserts a ``floor`` — the minimum speedup its
+optimized path must keep over its baseline.  This script re-validates
+each committed artifact against the shared schema (see ``conftest.py``)
+and fails when any ``speedup`` sits below its ``floor``, so a future PR
+cannot silently regress the vectorized paths the floors protect.
+
+Run from the repository root (as CI does)::
+
+    python benchmarks/check_regressions.py
+
+Exit status 0 means every artifact conforms and clears its floor.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).parent
+sys.path.insert(0, str(BENCH_DIR))
+
+from conftest import validate_bench_payload  # noqa: E402
+
+
+def main() -> int:
+    paths = sorted(BENCH_DIR.glob("BENCH_*.json"))
+    if not paths:
+        print("no BENCH_*.json artifacts found", file=sys.stderr)
+        return 1
+    problems = []
+    for path in paths:
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            problems.append(f"{path.name}: not valid JSON ({exc})")
+            continue
+        issues = validate_bench_payload(payload, source=path.name)
+        problems.extend(issues)
+        status = "FAIL" if issues else "ok"
+        print(f"{status:>4}  {path.name}: speedup "
+              f"{payload.get('speedup', '?')}x (floor "
+              f"{payload.get('floor', '?')}x)")
+    if problems:
+        print("\nperf-regression guard failed:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print(f"{len(paths)} artifact(s) clear their floors")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

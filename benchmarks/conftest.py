@@ -12,12 +12,16 @@ next reader) can diff speedups across PRs without per-bench parsing:
 * ``bench`` — the benchmark's name (str);
 * ``wall`` — ``{"baseline_s": float, "optimized_s": float}`` wall-clock
   seconds of the scalar/uncached baseline and the optimized path;
-* ``speedup`` — ``baseline_s / optimized_s`` (float).
+* ``speedup`` — ``baseline_s / optimized_s`` (float);
+* ``floor`` — the minimum speedup this bench asserts; the committed
+  artifact must satisfy ``speedup >= floor``, so a future PR that
+  regresses a vectorized path fails CI instead of silently shipping
+  (see ``benchmarks/check_regressions.py``).
 
 Build payloads with :func:`bench_payload` (extra keys are free-form);
 the autouse :func:`check_bench_artifacts` fixture asserts every
-committed ``BENCH_*.json`` still carries the schema whenever the
-benchmark suite runs under pytest.
+committed ``BENCH_*.json`` still carries the schema — floor included —
+whenever the benchmark suite runs under pytest.
 """
 
 from __future__ import annotations
@@ -31,7 +35,7 @@ import pytest
 BENCH_DIR = Path(__file__).parent
 
 #: Top-level keys every BENCH_*.json must carry.
-BENCH_SCHEMA_KEYS = ("bench", "wall", "speedup")
+BENCH_SCHEMA_KEYS = ("bench", "wall", "speedup", "floor")
 
 
 def attach_checks(benchmark, checks) -> None:
@@ -43,12 +47,14 @@ def attach_checks(benchmark, checks) -> None:
 
 
 def bench_payload(name: str, baseline_s: float, optimized_s: float,
-                  **extra) -> Dict[str, object]:
+                  floor: float, **extra) -> Dict[str, object]:
     """A schema-conforming ``BENCH_*.json`` payload.
 
     ``baseline_s`` / ``optimized_s`` are mean wall-clock seconds of the
-    baseline and optimized paths; any ``extra`` keys are carried
-    through verbatim.
+    baseline and optimized paths; ``floor`` is the minimum speedup the
+    bench asserts (the CI regression guard re-checks it against the
+    committed artifact); any ``extra`` keys are carried through
+    verbatim.
     """
     payload: Dict[str, object] = {
         "bench": name,
@@ -57,6 +63,7 @@ def bench_payload(name: str, baseline_s: float, optimized_s: float,
             "optimized_s": round(optimized_s, 6),
         },
         "speedup": round(baseline_s / optimized_s, 2),
+        "floor": float(floor),
     }
     payload.update(extra)
     return payload
@@ -81,6 +88,14 @@ def validate_bench_payload(payload: Dict[str, object],
     if "speedup" in payload and not isinstance(payload["speedup"],
                                                (int, float)):
         problems.append(f"{source}: 'speedup' must be a number")
+    if "floor" in payload and not isinstance(payload["floor"], (int, float)):
+        problems.append(f"{source}: 'floor' must be a number")
+    if (isinstance(payload.get("speedup"), (int, float))
+            and isinstance(payload.get("floor"), (int, float))
+            and payload["speedup"] < payload["floor"]):
+        problems.append(
+            f"{source}: speedup {payload['speedup']}x regressed below the "
+            f"asserted floor {payload['floor']}x")
     return problems
 
 

@@ -21,6 +21,15 @@ Cache-hit solutions are *rebound* to the requesting layer
 (``dataclasses.replace(sol, layer=request.layer)``), so a hit served
 from conv3_1's solution still reports conv3_2's name and repeat count
 downstream — pipeline planning and weighted cycle totals stay exact.
+
+On top of the per-problem memo, the engine exposes the *batched
+lattice* layer (:meth:`MappingEngine.network_sweep` /
+:meth:`~MappingEngine.network_cycles` /
+:meth:`~MappingEngine.sweep_cycles`): for the analytically-batchable
+schemes a whole network's cycle total — for one array or a sweep of
+candidate arrays — is read off one shared
+:class:`~repro.core.sweep.NetworkLattice` instead of per-layer solver
+runs, which is what the DSE bisections and Pareto sweeps probe.
 """
 
 from __future__ import annotations
@@ -31,8 +40,12 @@ from collections import OrderedDict
 from dataclasses import replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from ..core.array import PIMArray
+from ..core.cache import LRUMemo
 from ..core.layer import ConvLayer
+from ..core.sweep import NetworkLattice
 from ..core.types import ConfigurationError
 from ..search.result import MappingSolution
 from .registry import DEFAULT_REGISTRY, SolverRegistry
@@ -140,6 +153,7 @@ class MappingEngine:
         self.registry = registry if registry is not None else DEFAULT_REGISTRY
         self.max_workers = max_workers
         self._cache = _LRUCache(cache_size)
+        self._sweeps: LRUMemo = LRUMemo(maxsize=self.SWEEP_CACHE_SIZE)
 
     # ------------------------------------------------------------------
     # Single-request paths
@@ -302,6 +316,78 @@ class MappingEngine:
         return replace(solution, layer=request.layer, array=request.array)
 
     # ------------------------------------------------------------------
+    # Network sweeps (batched lattices for DSE)
+    # ------------------------------------------------------------------
+    #: Bound on memoized :class:`NetworkLattice` objects.
+    SWEEP_CACHE_SIZE = 32
+
+    #: Registry capability tag declaring that a scheme's solver is the
+    #: analytical form :class:`NetworkLattice` reproduces.  Replacing a
+    #: solver (``register(..., replace=True)``) drops the tag unless the
+    #: replacement explicitly re-claims it, which disables the fast path.
+    BATCHABLE = "batchable"
+
+    def _batchable(self, scheme: str) -> bool:
+        """Whether *scheme* may take the batched-lattice fast path."""
+        return (scheme in NetworkLattice.SUPPORTED
+                and self.BATCHABLE in self.registry.get(scheme).capabilities)
+
+    def network_sweep(self, network,
+                      scheme: str = "vw-sdk") -> Optional[NetworkLattice]:
+        """The memoized batched lattice for *network*, or ``None``.
+
+        *network* is any iterable of :class:`ConvLayer` (a
+        :class:`repro.networks.Network` included; a generator is
+        consumed once).  ``None`` means the scheme has no batchable
+        analytical form (or its solver was replaced in the registry)
+        and callers must take the memoized :meth:`map_batch` path
+        instead.  Lattices are keyed by the per-layer geometry
+        sequence, so equal-shape networks share one.
+        """
+        self.registry.solver(scheme)  # fail fast on unknown names
+        if not self._batchable(scheme):
+            return None
+        layers = tuple(network)
+        key = (scheme, NetworkLattice.geometry_key(layers))
+        return self._sweeps.get_or_compute(
+            key, lambda: NetworkLattice.for_network(layers, scheme))
+
+    def network_cycles(self, network, array: PIMArray,
+                       scheme: str = "vw-sdk") -> int:
+        """Total cycles of *network* on *array* under *scheme*.
+
+        Reads the shared :class:`NetworkLattice` when the scheme is
+        batchable; otherwise resolves the layers through
+        :meth:`map_batch`, so repeated probes of the same ``(layer,
+        array, scheme)`` problems hit the solution memo either way.
+        """
+        layers = tuple(network)
+        sweep = self.network_sweep(layers, scheme)
+        if sweep is not None:
+            return sweep.network_cycles(array)
+        batch = BatchRequest.of(MappingRequest(layer=layer, array=array,
+                                               scheme=scheme)
+                                for layer in layers)
+        return sum(resp.solution.cycles
+                   for resp in self.map_batch(batch).responses)
+
+    def sweep_cycles(self, network, arrays: Sequence[PIMArray],
+                     scheme: str = "vw-sdk") -> np.ndarray:
+        """Total network cycles for *many* candidate arrays: ``(A,)``.
+
+        The batchable schemes answer the whole sweep in one vectorized
+        :meth:`NetworkLattice.cycles_for` call; the fallback resolves
+        each array through the memoized batch path.
+        """
+        layers = tuple(network)
+        arrays = list(arrays)
+        sweep = self.network_sweep(layers, scheme)
+        if sweep is not None:
+            return sweep.cycles_for(arrays)
+        return np.asarray([self.network_cycles(layers, array, scheme)
+                           for array in arrays], dtype=np.int64)
+
+    # ------------------------------------------------------------------
     # Introspection / management
     # ------------------------------------------------------------------
     @property
@@ -315,8 +401,10 @@ class MappingEngine:
         return len(self._cache)
 
     def cache_clear(self) -> None:
-        """Drop all memoized solutions (counters keep accruing)."""
+        """Drop all memoized solutions and network sweeps (counters
+        keep accruing)."""
         self._cache.clear()
+        self._sweeps.clear()
 
     def schemes(self) -> Tuple[str, ...]:
         """Scheme names this engine can resolve."""

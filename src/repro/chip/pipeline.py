@@ -95,12 +95,17 @@ def _minimum_allocation(solutions: Sequence) -> List[int]:
 
 def plan_pipeline(network: Network, chip: ChipConfig,
                   scheme: str = "vw-sdk",
-                  engine: Optional[MappingEngine] = None) -> PipelinePlan:
+                  engine: Optional[MappingEngine] = None, *,
+                  solutions: Optional[Sequence] = None) -> PipelinePlan:
     """Allocate the chip's crossbars across the network's layers.
 
     Per-layer mappings come from *engine* (the shared
     :func:`repro.api.default_engine` by default), so planning a chip
     for a network that was already mapped costs no solver time.
+    Callers replanning the *same* network/array many times — e.g. the
+    ``smallest_chip`` bisection over array counts — can pass the
+    per-layer *solutions* (one per network layer, in order) to skip
+    even the memo lookups.
 
     Raises :class:`InsufficientArraysError` when even the residency
     minimum (one array per tile programming, times block repeats) does
@@ -113,8 +118,14 @@ def plan_pipeline(network: Network, chip: ChipConfig,
     >>> plan.arrays_used <= 64
     True
     """
-    eng = engine if engine is not None else default_engine()
-    solutions = [eng.solve(layer, chip.array, scheme) for layer in network]
+    if solutions is None:
+        eng = engine if engine is not None else default_engine()
+        solutions = [eng.solve(layer, chip.array, scheme)
+                     for layer in network]
+    elif len(solutions) != len(network):
+        raise ReproError(
+            f"plan_pipeline got {len(solutions)} precomputed solutions "
+            f"for {len(network)} layers of {network.name}")
     minimum = _minimum_allocation(solutions)
     repeats = [sol.layer.repeats for sol in solutions]
     floor_arrays = sum(m * r for m, r in zip(minimum, repeats))

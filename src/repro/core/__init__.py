@@ -28,9 +28,16 @@ from .cycles import (
 )
 from .cost import DEFAULT_COST_PARAMS, CostParams, CostReport, cost_report
 from .grouped import GroupedMapping, depthwise_mapping, grouped_mapping
-from .lattice import CycleLattice, strided_lattice, window_lattice
+from .lattice import (
+    CycleLattice,
+    LayerLattice,
+    layer_lattice,
+    strided_lattice,
+    window_lattice,
+)
 from .layer import ConvLayer
 from .presets import DEVICE_PRESETS, preset
+from .sweep import NetworkLattice, network_lattice
 from .strided import (
     StridedSolution,
     StridedWindow,
@@ -65,8 +72,12 @@ __all__ = [
     "variable_window_cycles",
     "im2col_cycles",
     "CycleLattice",
+    "LayerLattice",
+    "layer_lattice",
     "window_lattice",
     "strided_lattice",
+    "NetworkLattice",
+    "network_lattice",
     "TileUsage",
     "UtilizationReport",
     "utilization_report",

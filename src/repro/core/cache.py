@@ -1,0 +1,62 @@
+"""A small thread-safe LRU memo shared by the lattice-layer caches.
+
+The lattice stack memoizes pure functions of geometry in three places
+(layer grids, window fronts, network sweeps); this helper keeps the
+lock/eviction discipline in one spot instead of three hand-rolled
+copies.  Values must be immutable (or never mutated): a concurrent
+miss may compute the same value twice, and either result is kept.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Generic, Hashable, TypeVar
+
+__all__ = ["LRUMemo"]
+
+V = TypeVar("V")
+
+
+class LRUMemo(Generic[V]):
+    """Memoize a pure computation per key, evicting least-recently-used.
+
+    >>> memo = LRUMemo(maxsize=2)
+    >>> memo.get_or_compute("a", lambda: 1)
+    1
+    >>> memo.get_or_compute("a", lambda: 1/0)   # served from the memo
+    1
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Hashable, V]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get_or_compute(self, key: Hashable, factory: Callable[[], V]) -> V:
+        """The memoized value for *key*, computing via *factory* on miss.
+
+        The factory runs outside the lock — slow computations never
+        serialise readers; a racing duplicate computation is harmless
+        for the pure values this memo holds.
+        """
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                return self._data[key]
+        value = factory()
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        """Drop every memoized value."""
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:  # noqa: D105 - obvious
+        with self._lock:
+            return len(self._data)

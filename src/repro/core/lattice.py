@@ -68,13 +68,14 @@ from typing import Tuple
 import numpy as np
 
 from .array import PIMArray
+from .cache import LRUMemo
 from .cycles import CycleBreakdown
 from .layer import ConvLayer
 from .types import MappingError
 from .window import ParallelWindow
 
-__all__ = ["CycleLattice", "window_lattice", "strided_lattice",
-           "INFEASIBLE"]
+__all__ = ["CycleLattice", "LayerLattice", "layer_lattice",
+           "window_lattice", "strided_lattice", "INFEASIBLE"]
 
 #: Sentinel cycle count for infeasible cells in masked reductions; no
 #: real mapping reaches it (int64 max).
@@ -195,8 +196,85 @@ class CycleLattice:
                         np.nan)
 
 
-def _build_lattice(layer: ConvLayer, array: PIMArray) -> CycleLattice:
-    """Evaluate the full window grid for *layer* on *array*.
+@dataclass(frozen=True)
+class LayerLattice:
+    """The array-independent half of a :class:`CycleLattice`.
+
+    Everything eqs. 1-8 need that does *not* depend on the array
+    geometry — the window/pixel axes, per-cell areas, windows-per-PW,
+    the eq. 3 position counts and the fits-the-IFM mask — evaluated
+    once per layer geometry.  :meth:`with_array` applies the remaining
+    array-dependent equations (4-8: two integer-divide maps plus caps
+    and ceil-divides), so a sweep over array shapes shares every grid
+    but those.
+
+    Grids are cached per layer *geometry* (channels, stride and padding
+    included; ``name``/``repeats`` excluded) and shared between
+    instances as read-only arrays; ``layer`` is the requesting layer,
+    so solutions materialised from the finished lattice carry the right
+    metadata.
+    """
+
+    layer: ConvLayer
+    #: Windows grouped per axis: ``nw_h[i] = i + 1`` (axis 0),
+    #: ``nw_w[j] = j + 1`` (axis 1); pixel extents ``pw = K + i*stride``.
+    nw_h: np.ndarray
+    nw_w: np.ndarray
+    pw_h: np.ndarray
+    pw_w: np.ndarray
+    #: Pixel area ``PW_h * PW_w`` per cell.
+    area: np.ndarray
+    #: ``N_w^P = nw_h * nw_w`` per cell.
+    windows: np.ndarray
+    #: Eq. 3 parallel-window position count per cell.
+    n_pw: np.ndarray
+    #: Array-independent feasibility: the window fits the padded IFM.
+    fits_ifm: np.ndarray
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Grid shape ``(heights, widths)``."""
+        return self.area.shape
+
+    def with_array(self, array: PIMArray) -> CycleLattice:
+        """Finish the lattice for *array*: eqs. 4-8 plus feasibility.
+
+        Bit-identical to evaluating the full grid from scratch — the
+        shared grids carry everything else.
+        """
+        layer = self.layer
+        ic_per_array = array.rows // self.area              # eq. 4 (floor)
+        oc_per_array = array.cols // self.windows           # eq. 6 (floor)
+        feasible = self.fits_ifm & (ic_per_array >= 1) & (oc_per_array >= 1)
+
+        ic_t = np.minimum(ic_per_array, layer.in_channels)  # eq. 4 (cap)
+        oc_t = np.minimum(oc_per_array, layer.out_channels)  # eq. 6 (cap)
+        ar = -(-layer.in_channels // np.maximum(ic_t, 1))   # eq. 5
+        ac = -(-layer.out_channels // np.maximum(oc_t, 1))  # eq. 7
+        cycles = self.n_pw * ar * ac                        # eq. 8
+
+        zero = np.int64(0)
+        return CycleLattice(
+            layer=layer, array=array, nw_h=self.nw_h, nw_w=self.nw_w,
+            pw_h=self.pw_h, pw_w=self.pw_w, feasible=feasible,
+            ic_t=np.where(feasible, ic_t, zero),
+            oc_t=np.where(feasible, oc_t, zero),
+            ar=np.where(feasible, ar, zero),
+            ac=np.where(feasible, ac, zero),
+            n_pw=np.where(feasible, self.n_pw, zero),
+            cycles=np.where(feasible, cycles, zero),
+        )
+
+
+def _geometry_key(layer: ConvLayer) -> Tuple[int, ...]:
+    """The grid-determining fields (``name``/``repeats`` excluded)."""
+    return (layer.ifm_h, layer.ifm_w, layer.kernel_h, layer.kernel_w,
+            layer.in_channels, layer.out_channels, layer.stride,
+            layer.padding)
+
+
+def _compute_layer_grids(layer: ConvLayer) -> Tuple[np.ndarray, ...]:
+    """Evaluate the array-independent grids for *layer*.
 
     Works for any stride: windows are counted in window-index space
     (``nw`` consecutive kernel windows span ``K + (nw-1)*stride``
@@ -210,32 +288,42 @@ def _build_lattice(layer: ConvLayer, array: PIMArray) -> CycleLattice:
 
     area = pw_h[:, None] * pw_w[None, :]
     windows = nw_h[:, None] * nw_w[None, :]
-
-    ic_per_array = array.rows // area                       # eq. 4 (floor)
-    oc_per_array = array.cols // windows                    # eq. 6 (floor)
-    feasible = ((ic_per_array >= 1) & (oc_per_array >= 1)
-                & (pw_h[:, None] <= layer.padded_ifm_h)
-                & (pw_w[None, :] <= layer.padded_ifm_w))
-
-    ic_t = np.minimum(ic_per_array, layer.in_channels)      # eq. 4 (cap)
-    oc_t = np.minimum(oc_per_array, layer.out_channels)     # eq. 6 (cap)
-    ar = -(-layer.in_channels // np.maximum(ic_t, 1))       # eq. 5
-    ac = -(-layer.out_channels // np.maximum(oc_t, 1))      # eq. 7
     n_pw = ((-(-layer.ofm_h // nw_h))[:, None]
             * (-(-layer.ofm_w // nw_w))[None, :])           # eq. 3
-    cycles = n_pw * ar * ac                                 # eq. 8
+    fits_ifm = ((pw_h[:, None] <= layer.padded_ifm_h)
+                & (pw_w[None, :] <= layer.padded_ifm_w))
 
-    zero = np.int64(0)
-    return CycleLattice(
-        layer=layer, array=array, nw_h=nw_h, nw_w=nw_w,
-        pw_h=pw_h, pw_w=pw_w, feasible=feasible,
-        ic_t=np.where(feasible, ic_t, zero),
-        oc_t=np.where(feasible, oc_t, zero),
-        ar=np.where(feasible, ar, zero),
-        ac=np.where(feasible, ac, zero),
-        n_pw=np.where(feasible, n_pw, zero),
-        cycles=np.where(feasible, cycles, zero),
-    )
+    grids = (nw_h, nw_w, pw_h, pw_w, area, windows, n_pw, fits_ifm)
+    for grid in grids:
+        grid.setflags(write=False)  # shared across cached lattices
+    return grids
+
+
+#: Geometry-keyed grid memo: sweeps over array shapes (and repeated
+#: solves of the same layer) share one grid evaluation per geometry.
+#: The key drops the channel counts — nothing
+#: :func:`_compute_layer_grids` produces depends on them, so layers
+#: differing only in IC/OC share one grid set.
+_GRID_MEMO: LRUMemo = LRUMemo(maxsize=64)
+
+
+def layer_lattice(layer: ConvLayer) -> LayerLattice:
+    """The (cached) array-independent lattice half for *layer*.
+
+    Grids are memoized by layer geometry in a small LRU, so repeated
+    calls — every probe of a DSE bisection, every array of a sweep —
+    cost two dictionary operations, not a grid evaluation.
+    """
+    key = (layer.ifm_h, layer.ifm_w, layer.kernel_h, layer.kernel_w,
+           layer.stride, layer.padding)
+    grids = _GRID_MEMO.get_or_compute(
+        key, lambda: _compute_layer_grids(layer))
+    return LayerLattice(layer, *grids)
+
+
+def _build_lattice(layer: ConvLayer, array: PIMArray) -> CycleLattice:
+    """Evaluate the full window grid for *layer* on *array*."""
+    return layer_lattice(layer).with_array(array)
 
 
 def window_lattice(layer: ConvLayer, array: PIMArray) -> CycleLattice:

@@ -1,12 +1,26 @@
-"""Design-space exploration: inverse sizing and Pareto analysis."""
+"""Design-space exploration: inverse sizing and Pareto analysis.
 
-from .pareto import ParetoPoint, pareto_front, window_pareto
+All entry points share the batched network lattices exposed by the
+:class:`~repro.api.engine.MappingEngine` — array-size bisections and
+array sweeps reuse one window-grid evaluation per layer geometry
+instead of re-solving per probe.
+"""
+
+from .pareto import (
+    ArrayDesignPoint,
+    ParetoPoint,
+    array_pareto,
+    pareto_front,
+    window_pareto,
+)
 from .requirements import network_cycles, smallest_chip, smallest_square_array
 
 __all__ = [
     "ParetoPoint",
+    "ArrayDesignPoint",
     "pareto_front",
     "window_pareto",
+    "array_pareto",
     "network_cycles",
     "smallest_square_array",
     "smallest_chip",

@@ -12,19 +12,30 @@ see :meth:`repro.core.lattice.CycleLattice.mean_utilization_pct`) and
 extracts the two-objective frontier with a sort-and-scan instead of the
 generic O(n^2) :func:`pareto_front`, so full-landscape sweeps over
 224x224 layers stay interactive.
+
+:func:`array_pareto` answers the *hardware*-side question — which
+candidate array shapes are worth building for a network — by sweeping
+every candidate through one batched
+:class:`~repro.core.sweep.NetworkLattice` evaluation
+(:meth:`~repro.api.engine.MappingEngine.sweep_cycles`) instead of
+re-solving ``candidates x layers`` mapping problems, then extracting
+the cells-vs-cycles frontier.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, Tuple, TypeVar, Union
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar, Union
 
+from ..api.engine import MappingEngine, default_engine
 from ..core.array import PIMArray
 from ..core.layer import ConvLayer
 from ..core.utilization import utilization_report
+from ..networks.layerset import Network
 from ..search import CandidateSpace, enumerate_feasible
 
-__all__ = ["ParetoPoint", "pareto_front", "window_pareto"]
+__all__ = ["ParetoPoint", "ArrayDesignPoint", "pareto_front",
+           "window_pareto", "array_pareto"]
 
 T = TypeVar("T")
 
@@ -54,6 +65,55 @@ def pareto_front(items: Sequence[T],
                 break
         if not dominated:
             front.append(candidate)
+    return front
+
+
+@dataclass(frozen=True)
+class ArrayDesignPoint:
+    """One candidate array on the cells / cycles frontier."""
+
+    array: PIMArray
+    cycles: int
+
+    @property
+    def cells(self) -> int:
+        """Silicon cost proxy: total crossbar cells."""
+        return self.array.cells
+
+
+def array_pareto(network: Network, candidates: Sequence[PIMArray],
+                 scheme: str = "vw-sdk", *,
+                 engine: Optional[MappingEngine] = None
+                 ) -> List[ArrayDesignPoint]:
+    """Cells-vs-cycles frontier of *candidates* for *network*.
+
+    All candidates are evaluated in one batched sweep over the
+    network's shared lattice (engine fallback for non-batchable
+    schemes).  Returned points are sorted by cell count ascending /
+    cycles descending; dominated and duplicate-cost candidates are
+    dropped (the cheapest-then-first candidate wins each cell count).
+
+    >>> from repro.networks import resnet18
+    >>> front = array_pareto(resnet18(),
+    ...                      [PIMArray.square(s) for s in (128, 256, 512)])
+    >>> [point.cycles for point in front]
+    [36310, 10287, 4294]
+    """
+    eng = engine if engine is not None else default_engine()
+    totals = eng.sweep_cycles(network, candidates, scheme)
+    order = sorted(range(len(candidates)),
+                   key=lambda k: (candidates[k].cells, int(totals[k])))
+    front: List[ArrayDesignPoint] = []
+    best_cycles: Optional[int] = None
+    last_cells: Optional[int] = None
+    for k in order:
+        cells, cycles = candidates[k].cells, int(totals[k])
+        if cells == last_cells:
+            continue  # a cheaper-or-equal candidate at this cost won
+        if best_cycles is not None and cycles >= best_cycles:
+            continue  # dominated by a smaller array
+        front.append(ArrayDesignPoint(array=candidates[k], cycles=cycles))
+        best_cycles, last_cells = cycles, cells
     return front
 
 

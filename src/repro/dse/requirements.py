@@ -4,35 +4,59 @@ The paper answers "given an array, how fast is the layer"; deployment
 asks the inverse: *how big an array* (or *how many arrays*) achieves a
 latency target.  Cycle counts are monotone non-increasing in the array
 size (property-tested), so bisection answers both questions exactly.
+
+Every probe of those bisections used to re-solve the whole network.
+They now share work two ways:
+
+* array-size probes read one batched
+  :class:`~repro.core.sweep.NetworkLattice` through
+  :meth:`~repro.api.engine.MappingEngine.network_cycles` — the window
+  grids are array-independent, so a probe costs two integer-divide
+  maps, not a per-layer search (schemes without a batchable form fall
+  back to the engine's memoized ``map_batch``);
+* array-count probes hoist the per-layer solutions out of the loop —
+  they depend only on ``(layer, array, scheme)``, which the bisection
+  never changes — and hand them to ``plan_pipeline`` ready-made.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Optional
 
+from ..api.engine import MappingEngine, default_engine
 from ..chip.config import ChipConfig
 from ..chip.pipeline import InsufficientArraysError, plan_pipeline
 from ..core.array import PIMArray
 from ..core.types import ConfigurationError
 from ..networks.layerset import Network
-from ..search import solve
 
 __all__ = ["smallest_square_array", "smallest_chip", "network_cycles"]
 
 
 def network_cycles(network: Network, array: PIMArray,
-                   scheme: str = "vw-sdk") -> int:
-    """Total cycles of *network* on *array* (distinct layers)."""
-    return sum(solve(layer, array, scheme).cycles for layer in network)
+                   scheme: str = "vw-sdk", *,
+                   engine: Optional[MappingEngine] = None) -> int:
+    """Total cycles of *network* on *array* (distinct layers).
+
+    Routes through the shared engine: batchable schemes read the
+    network's shared lattice, the rest resolve via ``map_batch`` so
+    repeated ``(layer, array, scheme)`` probes hit the solution memo.
+    """
+    eng = engine if engine is not None else default_engine()
+    return eng.network_cycles(network, array, scheme)
 
 
 def smallest_square_array(network: Network, target_cycles: int,
                           scheme: str = "vw-sdk", *,
-                          lo: int = 8, hi: int = 65536) -> Optional[PIMArray]:
+                          lo: int = 8, hi: int = 65536,
+                          engine: Optional[MappingEngine] = None
+                          ) -> Optional[PIMArray]:
     """Smallest square array meeting a total-cycle target, or ``None``.
 
     Bisection over the side length; exact because cycles are monotone
-    non-increasing in the array size.
+    non-increasing in the array size.  All probes share the network's
+    array-independent window lattice, so the whole bisection costs one
+    grid evaluation plus a cheap finishing step per probe.
 
     >>> from repro.networks import resnet18
     >>> arr = smallest_square_array(resnet18(), 4294)
@@ -41,13 +65,17 @@ def smallest_square_array(network: Network, target_cycles: int,
     """
     if target_cycles < 1:
         raise ConfigurationError("target_cycles must be >= 1")
-    if network_cycles(network, PIMArray.square(hi), scheme) > target_cycles:
+    eng = engine if engine is not None else default_engine()
+
+    def total(side: int) -> int:
+        return eng.network_cycles(network, PIMArray.square(side), scheme)
+
+    if total(hi) > target_cycles:
         return None
     low, high = lo, hi
     while low < high:
         mid = (low + high) // 2
-        if network_cycles(network, PIMArray.square(mid),
-                          scheme) <= target_cycles:
+        if total(mid) <= target_cycles:
             high = mid
         else:
             low = mid + 1
@@ -56,19 +84,27 @@ def smallest_square_array(network: Network, target_cycles: int,
 
 def smallest_chip(network: Network, array: PIMArray,
                   target_bottleneck: int, scheme: str = "vw-sdk", *,
-                  max_arrays: int = 1 << 20) -> Optional[ChipConfig]:
+                  max_arrays: int = 1 << 20,
+                  engine: Optional[MappingEngine] = None
+                  ) -> Optional[ChipConfig]:
     """Fewest crossbars whose pipeline bottleneck meets the target.
 
     Bisection over the array count (the greedy allocator's bottleneck
-    is monotone non-increasing in the budget).  Returns ``None`` when
-    even ``max_arrays`` crossbars cannot reach the target.
+    is monotone non-increasing in the budget).  The per-layer mappings
+    depend only on ``(layer, array, scheme)`` — fixed across probes —
+    so they are solved once up front and every probe replans only the
+    allocation.  Returns ``None`` when even ``max_arrays`` crossbars
+    cannot reach the target.
     """
     if target_bottleneck < 1:
         raise ConfigurationError("target_bottleneck must be >= 1")
+    eng = engine if engine is not None else default_engine()
+    solutions = tuple(eng.solve(layer, array, scheme) for layer in network)
 
     def bottleneck(count: int) -> Optional[int]:
         try:
-            plan = plan_pipeline(network, ChipConfig(array, count), scheme)
+            plan = plan_pipeline(network, ChipConfig(array, count), scheme,
+                                 engine=eng, solutions=solutions)
         except InsufficientArraysError:
             return None
         return plan.bottleneck_cycles

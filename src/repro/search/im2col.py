@@ -19,7 +19,8 @@ from .result import MappingSolution
 __all__ = ["im2col_solution"]
 
 
-@register_scheme("im2col", capabilities=("baseline", "closed-form"),
+@register_scheme("im2col", capabilities=("baseline", "closed-form",
+                                         "batchable"),
                  summary="im2col baseline: one kernel per column [4]")
 def im2col_solution(layer: ConvLayer, array: PIMArray) -> MappingSolution:
     """Map *layer* on *array* with im2col and return the solution.

@@ -61,7 +61,8 @@ def evaluate_window(layer: ConvLayer, array: PIMArray,
 
 
 @register_scheme("vw-sdk", capabilities=("search", "variable-window",
-                                         "partial-channel", "vectorized"),
+                                         "partial-channel", "vectorized",
+                                         "batchable"),
                  summary="VW-SDK variable-window search (Algorithm 1)")
 def vwsdk_solution(layer: ConvLayer, array: PIMArray,
                    candidates: Optional[Iterable[ParallelWindow]] = None

@@ -4,6 +4,7 @@ import pytest
 
 from repro import ConvLayer, PIMArray
 from repro.dse import (
+    array_pareto,
     network_cycles,
     pareto_front,
     smallest_chip,
@@ -84,6 +85,35 @@ class TestPareto:
         front = window_pareto(layer, arr)
         best = vwsdk_solution(layer, arr)
         assert front[0].cycles == best.cycles
+
+    def test_array_pareto_paper_points(self):
+        candidates = [PIMArray.square(s) for s in (512, 128, 256)]
+        front = array_pareto(resnet18(), candidates)
+        assert [p.array.rows for p in front] == [128, 256, 512]
+        assert [p.cycles for p in front] == [36310, 10287, 4294]
+        assert front[0].cells == 128 * 128
+
+    def test_array_pareto_frontier_invariant(self):
+        candidates = [PIMArray(r, c)
+                      for r in (64, 128, 200, 512) for c in (64, 256, 512)]
+        front = array_pareto(resnet18(), candidates)
+        cells = [p.cells for p in front]
+        cycles = [p.cycles for p in front]
+        # Strictly increasing cost must buy strictly fewer cycles.
+        assert cells == sorted(set(cells))
+        assert cycles == sorted(cycles, reverse=True)
+        assert len(set(cycles)) == len(cycles)
+
+    def test_array_pareto_drops_duplicates(self):
+        twice = [PIMArray.square(256), PIMArray.square(256)]
+        front = array_pareto(resnet18(), twice)
+        assert len(front) == 1
+
+    def test_array_pareto_fallback_scheme(self):
+        candidates = [PIMArray.square(s) for s in (128, 512)]
+        front = array_pareto(resnet18(), candidates, scheme="sdk")
+        assert [p.cycles for p in front] == [
+            network_cycles(resnet18(), c, "sdk") for c in candidates]
 
     def test_window_pareto_sorted_and_tradeoff(self):
         layer = ConvLayer.square(14, 3, 64, 64)

@@ -1,0 +1,84 @@
+"""Monotonicity invariants the DSE bisections rely on.
+
+``smallest_square_array`` bisects over the array side and
+``smallest_chip`` over the array count; both are exact only because
+cycles are monotone non-increasing in rows, columns and array budget.
+The requirements docstrings claim it — these properties pin it, over
+randomized layers *including strided and padded ones*.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chip import ChipConfig, plan_pipeline
+from repro.chip.pipeline import InsufficientArraysError
+from repro.core import ConvLayer, PIMArray
+from repro.dse import network_cycles
+from repro.networks import Network
+from repro.search import solve
+
+layers = st.builds(
+    ConvLayer.square,
+    st.integers(min_value=4, max_value=18),      # ifm
+    st.integers(min_value=1, max_value=4),       # kernel
+    st.integers(min_value=1, max_value=24),      # ic
+    st.integers(min_value=1, max_value=24),      # oc
+    stride=st.integers(min_value=1, max_value=3),
+    padding=st.integers(min_value=0, max_value=2),
+).filter(lambda l: l.kernel_h <= l.ifm_h)
+
+arrays = st.builds(
+    PIMArray,
+    st.integers(min_value=8, max_value=400),     # rows
+    st.integers(min_value=4, max_value=400),     # cols
+)
+
+networks = st.lists(layers, min_size=1, max_size=3).map(
+    lambda ls: Network.from_layers("rand", ls))
+
+growth = st.integers(min_value=1, max_value=300)
+
+#: The schemes the bisections default to / fall back through.
+SCHEMES = ("vw-sdk", "im2col")
+
+
+@given(layers, arrays, growth, st.sampled_from(SCHEMES))
+@settings(max_examples=60, deadline=None)
+def test_cycles_non_increasing_in_rows(layer, array, extra, scheme):
+    taller = PIMArray(array.rows + extra, array.cols)
+    assert (solve(layer, taller, scheme).cycles
+            <= solve(layer, array, scheme).cycles)
+
+
+@given(layers, arrays, growth, st.sampled_from(SCHEMES))
+@settings(max_examples=60, deadline=None)
+def test_cycles_non_increasing_in_cols(layer, array, extra, scheme):
+    wider = PIMArray(array.rows, array.cols + extra)
+    assert (solve(layer, wider, scheme).cycles
+            <= solve(layer, array, scheme).cycles)
+
+
+@given(networks, st.integers(min_value=8, max_value=300), growth)
+@settings(max_examples=40, deadline=None)
+def test_network_cycles_non_increasing_in_square_side(network, side, extra):
+    assert (network_cycles(network, PIMArray.square(side + extra))
+            <= network_cycles(network, PIMArray.square(side)))
+
+
+@given(networks, st.integers(min_value=1, max_value=64),
+       st.integers(min_value=1, max_value=32))
+@settings(max_examples=40, deadline=None)
+def test_bottleneck_non_increasing_in_array_count(network, count, extra):
+    array = PIMArray.square(256)
+
+    def bottleneck(num_arrays):
+        try:
+            return plan_pipeline(network, ChipConfig(array, num_arrays)
+                                 ).bottleneck_cycles
+        except InsufficientArraysError:
+            return None
+
+    base = bottleneck(count)
+    bigger = bottleneck(count + extra)
+    if base is not None:
+        assert bigger is not None and bigger <= base
