@@ -15,7 +15,7 @@ and shows three things:
 """
 
 from repro import ChipConfig, PIMArray, plan_pipeline, resnet18
-from repro.dse import smallest_chip
+from repro.dse import InfeasibleTargetError, smallest_chip
 from repro.reporting import format_table
 
 ARRAY = PIMArray.square(512)
@@ -60,8 +60,11 @@ def scaling_study() -> None:
 def inverse_sizing() -> None:
     print("\n== inverse sizing: arrays needed for a latency target ==")
     for target in (1500, 500, 100):
-        chip = smallest_chip(resnet18(), ARRAY, target, max_arrays=8192)
-        answer = f"{chip.num_arrays} arrays" if chip else "unreachable"
+        try:
+            chip = smallest_chip(resnet18(), ARRAY, target, max_arrays=8192)
+            answer = f"{chip.num_arrays} arrays"
+        except InfeasibleTargetError as error:
+            answer = f"unreachable (best {error.best} cycles)"
         print(f"bottleneck <= {target:5d} cycles  ->  {answer}")
 
 

@@ -30,6 +30,13 @@ schemes a whole network's cycle total — for one array or a sweep of
 candidate arrays — is read off one shared
 :class:`~repro.core.sweep.NetworkLattice` instead of per-layer solver
 runs, which is what the DSE bisections and Pareto sweeps probe.
+
+Chip-level planning gets the same treatment
+(:meth:`MappingEngine.chip_lattice` / :meth:`~MappingEngine.chip_sweep`):
+the min-max greedy's budget-independent state is precomputed once per
+``(network, array, scheme)`` as a :class:`~repro.chip.sweep.ChipLattice`
+and replayed per array-count probe, so ``smallest_chip`` bisections and
+chip-sweep grids never re-run the per-probe ``heapq`` allocator.
 """
 
 from __future__ import annotations
@@ -191,7 +198,17 @@ class MappingEngine:
         return solution, solve_ms
 
     def map(self, request: MappingRequest) -> MappingResponse:
-        """Resolve one request into a :class:`MappingResponse`."""
+        """Resolve one request into a :class:`MappingResponse`.
+
+        >>> engine = MappingEngine()
+        >>> request = MappingRequest(layer=ConvLayer.square(14, 3, 256, 256),
+        ...                          array=PIMArray.square(512),
+        ...                          scheme="vw-sdk")
+        >>> engine.map(request).solution.cycles
+        504
+        >>> engine.map(request).cached
+        True
+        """
         self.registry.solver(request.scheme)  # fail fast
         key = self._memo_key(request)
         cached = self._cache.get(key)
@@ -220,6 +237,13 @@ class MappingEngine:
         tallied per batch (exact even when the engine is shared across
         threads); ``evictions``/``size`` describe the engine's cache
         after the batch.
+
+        >>> engine = MappingEngine()
+        >>> layer = ConvLayer.square(14, 3, 256, 256)
+        >>> batch = [MappingRequest(layer=layer, array=PIMArray.square(512),
+        ...                         scheme=s) for s in ("im2col", "vw-sdk")]
+        >>> [r.solution.cycles for r in engine.map_batch(batch).responses]
+        [720, 504]
         """
         batch = (requests if isinstance(requests, BatchRequest)
                  else BatchRequest.of(requests))
@@ -343,6 +367,13 @@ class MappingEngine:
         and callers must take the memoized :meth:`map_batch` path
         instead.  Lattices are keyed by the per-layer geometry
         sequence, so equal-shape networks share one.
+
+        >>> engine = MappingEngine()
+        >>> from repro.networks import resnet18
+        >>> engine.network_sweep(resnet18()) is not None
+        True
+        >>> engine.network_sweep(resnet18(), "sdk") is None  # not batchable
+        True
         """
         self.registry.solver(scheme)  # fail fast on unknown names
         if not self._batchable(scheme):
@@ -360,6 +391,11 @@ class MappingEngine:
         batchable; otherwise resolves the layers through
         :meth:`map_batch`, so repeated probes of the same ``(layer,
         array, scheme)`` problems hit the solution memo either way.
+
+        >>> engine = MappingEngine()
+        >>> from repro.networks import resnet18
+        >>> engine.network_cycles(resnet18(), PIMArray.square(512))
+        4294
         """
         layers = tuple(network)
         sweep = self.network_sweep(layers, scheme)
@@ -378,6 +414,12 @@ class MappingEngine:
         The batchable schemes answer the whole sweep in one vectorized
         :meth:`NetworkLattice.cycles_for` call; the fallback resolves
         each array through the memoized batch path.
+
+        >>> engine = MappingEngine()
+        >>> from repro.networks import resnet18
+        >>> engine.sweep_cycles(resnet18(), [PIMArray.square(256),
+        ...                                  PIMArray.square(512)]).tolist()
+        [10287, 4294]
         """
         layers = tuple(network)
         arrays = list(arrays)
@@ -386,6 +428,57 @@ class MappingEngine:
             return sweep.cycles_for(arrays)
         return np.asarray([self.network_cycles(layers, array, scheme)
                            for array in arrays], dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Chip sweeps (batched greedy planning)
+    # ------------------------------------------------------------------
+    def chip_lattice(self, network, array: PIMArray,
+                     scheme: str = "vw-sdk"):
+        """The memoized :class:`~repro.chip.sweep.ChipLattice` for
+        ``(network, array, scheme)``.
+
+        The lattice precomputes the min-max greedy's budget-independent
+        state (per-stage latency staircases merged into consideration
+        order) from the engine's per-layer solutions, so chip-level
+        probes — ``smallest_chip`` bisections, :meth:`chip_sweep`
+        grids — replay it instead of re-running the ``heapq`` greedy.
+        Keyed by the per-layer ``(geometry, repeats)`` sequence plus the
+        scheme's registry version (names never change plan numbers).
+
+        >>> engine = MappingEngine()
+        >>> from repro.networks import resnet18
+        >>> engine.chip_lattice(resnet18(),
+        ...                     PIMArray.square(512)).floor_arrays
+        23
+        """
+        from ..chip.sweep import ChipLattice
+        layers = tuple(network)
+        key = ("chip", scheme, self.registry.version(scheme),
+               array.rows, array.cols,
+               tuple((geo, layer.repeats) for geo, layer in
+                     zip(NetworkLattice.geometry_key(layers), layers)))
+        return self._sweeps.get_or_compute(
+            key, lambda: ChipLattice.for_solutions(
+                [self.solve(layer, array, scheme) for layer in layers]))
+
+    def chip_sweep(self, network, array: PIMArray, counts,
+                   scheme: str = "vw-sdk"):
+        """Greedy pipeline outcomes for many chip array counts.
+
+        One vectorized replay of the shared :meth:`chip_lattice` over
+        the whole *counts* vector — bit-identical per probe to
+        :func:`repro.chip.plan_pipeline` on a
+        :class:`~repro.chip.config.ChipConfig` with that count.
+        Returns a :class:`~repro.chip.sweep.ChipSweep`.
+
+        >>> engine = MappingEngine()
+        >>> from repro.networks import resnet18
+        >>> sweep = engine.chip_sweep(resnet18(), PIMArray.square(512),
+        ...                           [32, 64, 256])
+        >>> sweep.bottleneck_cycles.tolist()
+        [243, 81, 18]
+        """
+        return self.chip_lattice(network, array, scheme).sweep(counts)
 
     # ------------------------------------------------------------------
     # Introspection / management
@@ -427,6 +520,9 @@ def default_engine() -> MappingEngine:
     Created lazily on first use against the default registry.  Use
     :func:`set_default_engine` to swap in a differently-configured
     instance (e.g. a larger cache for a long-running service).
+
+    >>> default_engine() is default_engine()    # one engine per process
+    True
     """
     global _default_engine
     with _default_lock:

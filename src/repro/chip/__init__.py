@@ -10,9 +10,14 @@ from .packing import (
     pack_tiles,
 )
 from .pipeline import InsufficientArraysError, PipelinePlan, plan_pipeline
+from .sweep import ChipLattice, ChipOutcome, ChipSweep, chip_lattice
 
 __all__ = [
     "ChipConfig",
+    "ChipLattice",
+    "ChipOutcome",
+    "ChipSweep",
+    "chip_lattice",
     "LayerAllocation",
     "allocate_layer",
     "residency_arrays",

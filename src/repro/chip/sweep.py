@@ -1,0 +1,453 @@
+"""Batched chip-level planning: the greedy allocator over many budgets.
+
+:func:`~repro.chip.pipeline.plan_pipeline`'s min-max greedy answers one
+question per call — *the* bottleneck for *one* array count — by popping
+a ``heapq`` once per replica granted.  The DSE entry points ask it over
+and over: ``smallest_chip`` bisects array counts, sweep studies walk a
+whole probe grid, and with ``max_arrays`` in the millions a single
+probe can mean hundreds of thousands of heap operations.
+
+A :class:`ChipLattice` precomputes everything about the greedy that
+does **not** depend on the budget and answers every probe from it:
+
+* each stage's latency ``ceil(N_PW / replicas)`` is a non-increasing
+  step function of its replica count, so its whole upgrade history is
+  a *staircase* of ``O(sqrt(N_PW))`` levels — replica ranges sharing
+  one latency — computed once per stage by divisor enumeration;
+* the greedy always upgrades the current-bottleneck stage (ties:
+  lowest stage index), so the order in which upgrades are *considered*
+  is budget-independent: all staircases merged by
+  ``(latency descending, stage ascending, replica ascending)``.  The
+  merged sequence is grouped into runs of equal-cost upgrades
+  (``tiles x repeats`` arrays per replica) of one stage at one level;
+* a probe then replays the merged groups against its own budget.  A
+  stage whose next upgrade is unaffordable drops out permanently —
+  exactly the greedy's ``step > budget`` skip — and everything else
+  keeps upgrading, so the replay is bit-identical to the ``heapq``
+  run (property-tested against it on randomized networks).
+
+Two replay engines share the precomputation:
+
+* :meth:`ChipLattice.sweep` answers a whole **vector** of array counts
+  in one pass — one scan over the merged groups with every probe's
+  budget/replica state advanced as NumPy vectors;
+* the scalar path behind :meth:`ChipLattice.outcome` skips along the
+  merged groups by **binary search** over their cumulative cost
+  (corrected for dropped stages), paying ``O(stages x log groups)``
+  per probe instead of one heap operation per replica — this is what
+  makes ``smallest_chip``'s bisection cheap even at huge budgets.
+
+>>> from repro.core import PIMArray
+>>> from repro.networks import resnet18
+>>> lat = ChipLattice.for_network(resnet18(), PIMArray.square(512))
+>>> lat.outcome(64).bottleneck_cycles      # == plan_pipeline(..., 64)
+81
+>>> sweep = lat.sweep([32, 64, 256])
+>>> sweep.bottleneck_cycles.tolist()
+[243, 81, 18]
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.lattice import INFEASIBLE
+from ..core.types import ceil_div
+from ..search.result import MappingSolution
+from .allocation import residency_arrays
+
+__all__ = ["ChipLattice", "ChipOutcome", "ChipSweep", "chip_lattice"]
+
+
+@dataclass(frozen=True)
+class ChipOutcome:
+    """The greedy plan's headline numbers for one array count."""
+
+    num_arrays: int
+    bottleneck_cycles: int
+    fill_latency_cycles: int
+    arrays_used: int
+
+    @property
+    def throughput_per_kcycle(self) -> float:
+        """Steady-state inferences per thousand chip cycles."""
+        return 1000.0 / self.bottleneck_cycles
+
+
+@dataclass(frozen=True)
+class ChipSweep:
+    """Greedy plan outcomes over a vector of chip array counts.
+
+    Vectors are aligned with :attr:`num_arrays`; where :attr:`feasible`
+    is ``False`` (the budget cannot even hold the weights resident) the
+    cycle vectors carry the ``INFEASIBLE`` sentinel and
+    :attr:`arrays_used` is 0.
+    """
+
+    #: Probed chip array counts: ``(A,)`` int64.
+    num_arrays: np.ndarray
+    #: Whether the residency floor fits each budget: ``(A,)`` bool.
+    feasible: np.ndarray
+    #: Steady-state pipeline bottleneck per probe: ``(A,)`` int64.
+    bottleneck_cycles: np.ndarray
+    #: Single-image fill latency per probe: ``(A,)`` int64.
+    fill_latency_cycles: np.ndarray
+    #: Crossbars consumed (repeats included) per probe: ``(A,)`` int64.
+    arrays_used: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.num_arrays.size)
+
+    def outcome(self, index: int) -> Optional[ChipOutcome]:
+        """The probe at *index* as a :class:`ChipOutcome` (``None`` when
+        infeasible)."""
+        if not bool(self.feasible[index]):
+            return None
+        return ChipOutcome(
+            num_arrays=int(self.num_arrays[index]),
+            bottleneck_cycles=int(self.bottleneck_cycles[index]),
+            fill_latency_cycles=int(self.fill_latency_cycles[index]),
+            arrays_used=int(self.arrays_used[index]))
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Per-probe table for reports (infeasible probes marked)."""
+        out: List[Dict[str, object]] = []
+        for i in range(len(self)):
+            point = self.outcome(i)
+            if point is None:
+                out.append({"arrays": int(self.num_arrays[i]),
+                            "bottleneck": "-", "fill": "-", "used": "-"})
+            else:
+                out.append({"arrays": point.num_arrays,
+                            "bottleneck": point.bottleneck_cycles,
+                            "fill": point.fill_latency_cycles,
+                            "used": point.arrays_used})
+        return out
+
+
+def _stage_staircase(n_pw: int) -> List[Tuple[int, int, int]]:
+    """One stage's upgrade staircase: ``(latency, k_start, count)`` runs.
+
+    Run ``(L, k, c)`` covers the upgrades from ``k`` to ``k + c``
+    replicas, each considered while the stage's latency is ``L =
+    ceil(n_pw / k')`` for every ``k'`` in the run.  Runs stop at
+    latency 2: a stage at latency 1 is never upgraded (the greedy's
+    ``latency == 1`` skip), and latencies are enumerated by the divisor
+    trick, so the staircase has ``O(sqrt(n_pw))`` runs.
+    """
+    runs: List[Tuple[int, int, int]] = []
+    k = 1
+    while k < n_pw:
+        latency = ceil_div(n_pw, k)
+        if latency <= 1:
+            break
+        k_hi = ceil_div(n_pw, latency - 1) - 1  # last k at this latency
+        k_hi = min(k_hi, n_pw - 1)
+        runs.append((latency, k, k_hi - k + 1))
+        k = k_hi + 1
+    return runs
+
+
+@dataclass(frozen=True)
+class ChipLattice:
+    """Budget-independent precomputation of the min-max greedy.
+
+    Build with :meth:`for_solutions` (per-layer mappings in network
+    order, e.g. from :meth:`repro.api.MappingEngine.solve`) or
+    :meth:`for_network`; evaluate with :meth:`outcome` (one array
+    count) or :meth:`sweep` (a whole probe vector, one pass).
+
+    The precomputed state is the merged upgrade-group sequence
+    described in the module docstring: ``group_stage`` /
+    ``group_cost`` / ``group_count`` / ``group_k`` are aligned ``(G,)``
+    vectors in greedy consideration order, and ``group_cum`` the
+    cumulative cost of fully applying every prefix.
+    """
+
+    #: The per-layer solutions the stages were derived from, in order.
+    solutions: Tuple[MappingSolution, ...]
+    #: Per stage: parallel-window positions, residency tiles, block
+    #: repeats, and replica step cost ``tiles * repeats``: ``(S,)``.
+    n_pw: np.ndarray
+    tiles: np.ndarray
+    repeats: np.ndarray
+    step: np.ndarray
+    #: Merged upgrade groups (see module docstring): ``(G,)`` each.
+    group_stage: np.ndarray
+    group_cost: np.ndarray
+    group_count: np.ndarray
+    group_k: np.ndarray
+    group_cum: np.ndarray
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_solutions(cls, solutions: Sequence[MappingSolution]
+                      ) -> "ChipLattice":
+        """Precompute the greedy's merged staircases for *solutions*.
+
+        >>> from repro.api import default_engine
+        >>> from repro.core import PIMArray
+        >>> from repro.networks import resnet18
+        >>> eng, arr = default_engine(), PIMArray.square(512)
+        >>> sols = [eng.solve(l, arr, "vw-sdk") for l in resnet18()]
+        >>> ChipLattice.for_solutions(sols).floor_arrays
+        23
+        """
+        solutions = tuple(solutions)
+        if not solutions:
+            raise ValueError("ChipLattice needs >= 1 per-layer solution")
+        n_pw = np.asarray([s.breakdown.n_pw for s in solutions],
+                          dtype=np.int64)
+        tiles = np.asarray([residency_arrays(s) for s in solutions],
+                           dtype=np.int64)
+        repeats = np.asarray([s.layer.repeats for s in solutions],
+                             dtype=np.int64)
+        step = tiles * repeats
+
+        latencies: List[int] = []
+        stages: List[int] = []
+        costs: List[int] = []
+        counts: List[int] = []
+        ks: List[int] = []
+        for stage, positions in enumerate(n_pw.tolist()):
+            for latency, k, count in _stage_staircase(positions):
+                latencies.append(latency)
+                stages.append(stage)
+                costs.append(int(step[stage]))
+                counts.append(count)
+                ks.append(k)
+        lat_v = np.asarray(latencies, dtype=np.int64)
+        stage_v = np.asarray(stages, dtype=np.int64)
+        cost_v = np.asarray(costs, dtype=np.int64)
+        count_v = np.asarray(counts, dtype=np.int64)
+        k_v = np.asarray(ks, dtype=np.int64)
+        # Greedy consideration order: latency desc, stage asc, k asc.
+        order = np.lexsort((k_v, stage_v, -lat_v))
+        stage_v, cost_v = stage_v[order], cost_v[order]
+        count_v, k_v = count_v[order], k_v[order]
+        cum = np.cumsum(cost_v * count_v)
+        # Instances are shared via the engine memo: freeze every vector.
+        for vec in (n_pw, tiles, repeats, step,
+                    stage_v, cost_v, count_v, k_v, cum):
+            vec.setflags(write=False)
+        return cls(solutions=solutions, n_pw=n_pw, tiles=tiles,
+                   repeats=repeats, step=step, group_stage=stage_v,
+                   group_cost=cost_v, group_count=count_v, group_k=k_v,
+                   group_cum=cum)
+
+    @classmethod
+    def for_network(cls, network, array, scheme: str = "vw-sdk", *,
+                    engine=None) -> "ChipLattice":
+        """Build from a network by solving each layer through *engine*
+        (the shared :func:`repro.api.default_engine` by default)."""
+        if engine is None:
+            from ..api.engine import default_engine
+            engine = default_engine()
+        return cls.for_solutions(
+            [engine.solve(layer, array, scheme) for layer in network])
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def num_stages(self) -> int:
+        """Pipeline stages (network layers)."""
+        return int(self.n_pw.size)
+
+    @property
+    def num_groups(self) -> int:
+        """Merged equal-cost upgrade runs shared by every probe."""
+        return int(self.group_stage.size)
+
+    @property
+    def floor_arrays(self) -> int:
+        """Residency minimum — the smallest feasible chip."""
+        return int(self.step.sum())
+
+    # ------------------------------------------------------------------
+    # Vectorized replay (probe grids)
+    # ------------------------------------------------------------------
+    def replicas_for(self, counts: Sequence[int]) -> np.ndarray:
+        """Final greedy replica counts per probe and stage: ``(A, S)``.
+
+        Infeasible probes (budget below :attr:`floor_arrays`) report
+        one replica per stage; mask them with ``counts >= floor``.
+        """
+        counts = np.asarray(list(counts), dtype=np.int64)
+        budget = np.maximum(counts - self.floor_arrays, 0)
+        replicas = np.ones((counts.size, self.num_stages), dtype=np.int64)
+        alive = np.ones_like(replicas, dtype=bool)
+        stages = self.group_stage.tolist()
+        costs = self.group_cost.tolist()
+        group_counts = self.group_count.tolist()
+        for g in range(self.num_groups):
+            stage, cost, count = stages[g], costs[g], group_counts[g]
+            live = alive[:, stage]
+            take = np.where(live, np.minimum(count, budget // cost), 0)
+            replicas[:, stage] += take
+            budget -= take * cost
+            # The greedy drops a stage at its first unaffordable step.
+            alive[:, stage] = live & (take == count)
+        return replicas
+
+    def sweep(self, counts: Sequence[int]) -> ChipSweep:
+        """Greedy outcomes for a whole vector of array counts.
+
+        One scan over the merged groups, every probe advanced as NumPy
+        vectors — bit-identical per probe to
+        :func:`~repro.chip.pipeline.plan_pipeline` on the same
+        solutions.
+
+        >>> from repro.core import PIMArray
+        >>> from repro.networks import resnet18
+        >>> lat = ChipLattice.for_network(resnet18(), PIMArray.square(512))
+        >>> lat.sweep([16, 64]).feasible.tolist()
+        [False, True]
+        """
+        counts = np.asarray(list(counts), dtype=np.int64)
+        replicas = self.replicas_for(counts)
+        latency = -(-self.n_pw[None, :] // replicas)
+        feasible = counts >= self.floor_arrays
+        spent = ((replicas - 1) * self.step[None, :]).sum(axis=1)
+        return ChipSweep(
+            num_arrays=counts,
+            feasible=feasible,
+            bottleneck_cycles=np.where(feasible, latency.max(axis=1),
+                                       INFEASIBLE),
+            fill_latency_cycles=np.where(feasible, latency.sum(axis=1),
+                                         INFEASIBLE),
+            arrays_used=np.where(feasible, self.floor_arrays + spent, 0),
+        )
+
+    # ------------------------------------------------------------------
+    # Scalar replay (bisection probes): merged binary search
+    # ------------------------------------------------------------------
+    def _scalar_replicas(self, budget: int) -> List[int]:
+        """Greedy final replicas for one budget, by prefix bisection.
+
+        Walks the merged groups by binary search over their cumulative
+        cost: the first prefix whose (drop-corrected) cost exceeds the
+        budget locates the next stage to drop, its partial run is
+        applied, and the search resumes past it.  Each iteration drops
+        one stage, so a probe costs ``O(stages x log groups)``.
+        """
+        replicas = [1] * self.num_stages
+        if budget <= 0:
+            return replicas
+        cum = self.group_cum
+        stage_v, cost_v = self.group_stage, self.group_cost
+        count_v, k_v = self.group_count, self.group_k
+        # Per-stage group positions + cumulative own-cost, for the
+        # drop correction (built lazily once, shared across probes).
+        positions, own_cum = self._stage_positions()
+        dropped: Dict[int, Tuple[int, int]] = {}  # stage -> (group, take)
+
+        def drop_correction(t: int) -> int:
+            """Cost counted in ``cum[t-1]`` that dropped stages never
+            spend: their partial run remainder + all later groups."""
+            correction = 0
+            for stage, (g, take) in dropped.items():
+                if g >= t:
+                    continue
+                correction += int(cost_v[g]) * (int(count_v[g]) - take)
+                pos = positions[stage]
+                lo = bisect_right(pos, g)
+                hi = bisect_left(pos, t)
+                if hi > lo:
+                    correction += own_cum[stage][hi] - own_cum[stage][lo]
+            return correction
+
+        start = 0
+        while start < self.num_groups:
+            # Smallest prefix t > start whose effective cost overflows.
+            lo, hi = start, self.num_groups
+            if int(cum[hi - 1]) - drop_correction(hi) <= budget:
+                break  # every remaining live upgrade is affordable
+            while lo < hi:
+                mid = (lo + hi + 1) // 2
+                if int(cum[mid - 1]) - drop_correction(mid) <= budget:
+                    lo = mid
+                else:
+                    hi = mid - 1
+            t = lo  # groups [0, t) fully apply; group t overflows
+            stage = int(stage_v[t])
+            remaining = budget - (int(cum[t - 1]) - drop_correction(t)
+                                  if t else 0)
+            take = remaining // int(cost_v[t])
+            dropped[stage] = (t, take)
+            start = t + 1
+
+        # Materialise: live stages climbed their whole staircase
+        # (latency 1); dropped stages stopped inside their kill group.
+        for stage in range(self.num_stages):
+            if stage in dropped:
+                g, take = dropped[stage]
+                replicas[stage] = int(k_v[g]) + take
+            elif positions[stage]:
+                last = positions[stage][-1]
+                replicas[stage] = int(k_v[last]) + int(count_v[last])
+        return replicas
+
+    def _stage_positions(self) -> Tuple[List[List[int]], List[List[int]]]:
+        """Per-stage merged-group positions and own-cost prefix sums."""
+        cached = getattr(self, "_positions_cache", None)
+        if cached is not None:
+            return cached
+        positions: List[List[int]] = [[] for _ in range(self.num_stages)]
+        for g, stage in enumerate(self.group_stage.tolist()):
+            positions[stage].append(g)
+        costs = (self.group_cost * self.group_count).tolist()
+        own_cum: List[List[int]] = []
+        for pos in positions:
+            acc, sums = 0, [0]
+            for g in pos:
+                acc += costs[g]
+                sums.append(acc)
+            own_cum.append(sums)
+        object.__setattr__(self, "_positions_cache", (positions, own_cum))
+        return positions, own_cum
+
+    def outcome(self, num_arrays: int) -> Optional[ChipOutcome]:
+        """The greedy plan's numbers for one array count.
+
+        ``None`` when the budget cannot hold the weights resident —
+        mirroring :func:`~repro.chip.pipeline.plan_pipeline` raising
+        :class:`~repro.chip.pipeline.InsufficientArraysError`.
+
+        >>> from repro.core import PIMArray
+        >>> from repro.networks import resnet18
+        >>> lat = ChipLattice.for_network(resnet18(), PIMArray.square(512))
+        >>> lat.outcome(lat.floor_arrays - 1) is None
+        True
+        >>> lat.outcome(64).arrays_used
+        64
+        """
+        budget = num_arrays - self.floor_arrays
+        if budget < 0:
+            return None
+        replicas = self._scalar_replicas(budget)
+        positions = self.n_pw.tolist()
+        steps = self.step.tolist()
+        latencies = [ceil_div(p, r) for p, r in zip(positions, replicas)]
+        spent = sum((r - 1) * s for r, s in zip(replicas, steps))
+        return ChipOutcome(
+            num_arrays=num_arrays,
+            bottleneck_cycles=max(latencies),
+            fill_latency_cycles=sum(latencies),
+            arrays_used=self.floor_arrays + spent)
+
+    def bottleneck_at(self, num_arrays: int) -> Optional[int]:
+        """Steady-state bottleneck for one count (``None``: infeasible)."""
+        point = self.outcome(num_arrays)
+        return None if point is None else point.bottleneck_cycles
+
+
+def chip_lattice(solutions: Sequence[MappingSolution]) -> ChipLattice:
+    """Convenience alias for :meth:`ChipLattice.for_solutions`."""
+    return ChipLattice.for_solutions(solutions)

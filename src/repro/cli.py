@@ -19,6 +19,17 @@ experiments
 landscape
     Print the full cycle landscape over all windows for one layer —
     the design-space view behind Algorithm 1.
+dse
+    Design-space exploration.  ``dse sweep`` prints the cells-vs-cycles
+    array frontier of a network — non-square ``(rows, cols)``
+    candidates with ``--non-square``, one batched lattice sweep either
+    way.
+chip
+    Multi-array deployment.  ``chip plan`` allocates one chip with the
+    greedy min-max pipeline planner; ``chip sweep`` replays the shared
+    :class:`~repro.chip.sweep.ChipLattice` over a whole grid of array
+    counts.  (Legacy ``chip NETWORK ...`` is rewritten to
+    ``chip plan NETWORK ...``.)
 """
 
 from __future__ import annotations
@@ -86,15 +97,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_land.add_argument("--top", type=int, default=15,
                         help="show the best N windows")
 
+    p_dse = sub.add_parser("dse", help="design-space exploration")
+    dse_sub = p_dse.add_subparsers(dest="dse_command", required=True)
+    p_front = dse_sub.add_parser(
+        "sweep", help="cells-vs-cycles array frontier for a network")
+    p_front.add_argument("name", help="zoo network, e.g. resnet18")
+    p_front.add_argument("--scheme", default="vw-sdk",
+                         choices=sorted(SCHEMES))
+    p_front.add_argument("--max-cells", type=int, default=512 * 512,
+                         help="total-cells budget per candidate array "
+                              "(default 512*512)")
+    p_front.add_argument("--non-square", action="store_true",
+                         help="vary rows and cols independently instead "
+                              "of sweeping squares only")
+    p_front.add_argument("--sides", default=None,
+                         help="comma-separated side lengths overriding "
+                              "the default ladder")
+
     p_chip = sub.add_parser(
-        "chip", help="plan a weight-resident pipeline on many arrays")
-    p_chip.add_argument("name", help="zoo network, e.g. resnet18")
-    p_chip.add_argument("--array", default="512x512",
+        "chip", help="weight-resident pipelines on many arrays")
+    chip_sub = p_chip.add_subparsers(dest="chip_command", required=True)
+    p_plan = chip_sub.add_parser(
+        "plan", help="plan one chip with the greedy pipeline allocator")
+    p_plan.add_argument("name", help="zoo network, e.g. resnet18")
+    p_plan.add_argument("--array", default="512x512",
                         help="crossbar geometry")
-    p_chip.add_argument("--arrays", type=int, default=64,
+    p_plan.add_argument("--arrays", type=int, default=64,
                         help="number of crossbars on the chip")
-    p_chip.add_argument("--scheme", default="vw-sdk",
+    p_plan.add_argument("--scheme", default="vw-sdk",
                         choices=sorted(SCHEMES))
+    p_sweep = chip_sub.add_parser(
+        "sweep", help="greedy outcomes over a grid of array counts")
+    p_sweep.add_argument("name", help="zoo network, e.g. resnet18")
+    p_sweep.add_argument("--array", default="512x512",
+                         help="crossbar geometry")
+    p_sweep.add_argument("--counts", default=None,
+                         help="probe grid as LO:HI[:STEP] or a comma "
+                              "list (default: residency floor to 8x "
+                              "floor in 32 steps)")
+    p_sweep.add_argument("--scheme", default="vw-sdk",
+                         choices=sorted(SCHEMES))
     return parser
 
 
@@ -179,7 +221,60 @@ def _cmd_landscape(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_counts(spec: str) -> List[int]:
+    """Parse a ``--counts`` probe grid: ``LO:HI[:STEP]`` or a comma list."""
+    try:
+        if ":" in spec:
+            parts = [int(p) for p in spec.split(":")]
+            if len(parts) not in (2, 3):
+                raise ValueError("expected 2 or 3 fields")
+            lo, hi = parts[0], parts[1]
+            if lo > hi:
+                raise ValueError(f"empty range {lo}:{hi}")
+            step = parts[2] if len(parts) == 3 else max(1, (hi - lo) // 32)
+            if step < 1:
+                raise ValueError(f"step must be >= 1, got {step}")
+            return list(range(lo, hi + 1, step))
+        counts = [int(p) for p in spec.split(",") if p.strip()]
+        if not counts:
+            raise ValueError("no counts given")
+        return counts
+    except ValueError as error:
+        raise SystemExit(
+            f"--counts: expected LO:HI[:STEP] or a comma list of "
+            f"integers, got {spec!r} ({error})") from None
+
+
+def _cmd_dse(args: argparse.Namespace) -> int:
+    from .dse import array_pareto
+    network = get_network(args.name)
+    try:
+        sides = ([int(s) for s in args.sides.split(",") if s.strip()]
+                 if args.sides else None)
+        if sides is not None and (not sides or min(sides) < 1):
+            raise ValueError("sides must be positive integers")
+        if args.max_cells < 1:
+            raise ValueError(f"--max-cells must be >= 1, "
+                             f"got {args.max_cells}")
+    except ValueError as error:
+        raise SystemExit(f"dse sweep: {error}") from None
+    front = array_pareto(network, scheme=args.scheme,
+                         max_cells=args.max_cells, sides=sides,
+                         square_only=not args.non_square)
+    shape = "non-square" if args.non_square else "square"
+    rows = [{"array": str(p.array), "cells": p.cells, "cycles": p.cycles}
+            for p in front]
+    print(format_table(
+        rows, title=f"{network.name} {shape} cells-vs-cycles frontier "
+                    f"({args.scheme}, <= {args.max_cells} cells)"))
+    print(f"{len(front)} non-dominated of the candidate grid; every "
+          f"extra cell buys strictly fewer cycles along this frontier")
+    return 0
+
+
 def _cmd_chip(args: argparse.Namespace) -> int:
+    if args.chip_command == "sweep":
+        return _cmd_chip_sweep(args)
     from .chip import ChipConfig, plan_pipeline
     network = get_network(args.name)
     chip = ChipConfig(PIMArray.parse(args.array), args.arrays)
@@ -193,18 +288,54 @@ def _cmd_chip(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chip_sweep(args: argparse.Namespace) -> int:
+    network = get_network(args.name)
+    array = PIMArray.parse(args.array)
+    engine = default_engine()
+    lattice = engine.chip_lattice(network, array, args.scheme)
+    floor = lattice.floor_arrays
+    if args.counts:
+        counts = _parse_counts(args.counts)
+    else:
+        step = max(1, (7 * floor) // 32)
+        counts = list(range(floor, 8 * floor + 1, step))
+    sweep = engine.chip_sweep(network, array, counts, args.scheme)
+    print(format_table(
+        sweep.rows(),
+        title=f"{network.name} chip sweep on {array} crossbars "
+              f"({args.scheme}; bottleneck/fill in cycles)"))
+    print(f"residency floor: {floor} arrays; {len(counts)} budgets "
+          f"replayed from one ChipLattice ({lattice.num_groups} "
+          f"precomputed upgrade runs)")
+    return 0
+
+
 _COMMANDS = {
     "map": _cmd_map,
     "network": _cmd_network,
     "experiments": _cmd_experiments,
     "landscape": _cmd_landscape,
+    "dse": _cmd_dse,
     "chip": _cmd_chip,
 }
+
+#: ``chip`` grew subcommands; bare ``chip NETWORK ...`` still works.
+_CHIP_SUBCOMMANDS = ("plan", "sweep")
+
+
+def _normalize_argv(argv: List[str]) -> List[str]:
+    """Rewrite legacy ``chip NETWORK ...`` to ``chip plan NETWORK ...``."""
+    if argv and argv[0] == "chip" and len(argv) > 1 \
+            and argv[1] not in _CHIP_SUBCOMMANDS \
+            and argv[1] not in ("-h", "--help"):
+        return [argv[0], "plan"] + argv[1:]
+    return argv
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit status."""
-    args = build_parser().parse_args(argv)
+    argv = list(sys.argv[1:] if argv is None else argv)
+    args = build_parser().parse_args(_normalize_argv(argv))
     return _COMMANDS[args.command](args)
 
 

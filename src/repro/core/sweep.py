@@ -190,6 +190,11 @@ class NetworkLattice:
 
         Two networks with equal keys share one :class:`NetworkLattice`:
         names and repeat counts never change cycle totals.
+
+        >>> a = [ConvLayer.square(14, 3, 256, 256, name="conv4_1")]
+        >>> b = [ConvLayer.square(14, 3, 256, 256, name="conv4_2")]
+        >>> NetworkLattice.geometry_key(a) == NetworkLattice.geometry_key(b)
+        True
         """
         return tuple(_geometry_key(layer) for layer in layers)
 
@@ -202,6 +207,12 @@ class NetworkLattice:
         :class:`repro.networks.Network` included).  Raises
         :class:`ConfigurationError` for schemes outside
         :data:`SUPPORTED` — callers should fall back to the engine.
+
+        >>> layers = [ConvLayer.square(14, 3, 256, 256)] * 2
+        >>> NetworkLattice.for_network(layers).num_layers
+        2
+        >>> NetworkLattice.for_network(layers).num_geometries
+        1
         """
         if scheme not in cls.SUPPORTED:
             raise ConfigurationError(
@@ -329,13 +340,25 @@ class NetworkLattice:
         return rows, cols
 
     def layer_cycles(self, array: PIMArray) -> np.ndarray:
-        """Solved cycles per network layer on *array*: ``(L,)`` int64."""
+        """Solved cycles per network layer on *array*: ``(L,)`` int64.
+
+        >>> layers = [ConvLayer.square(14, 3, 256, 256)] * 2
+        >>> lat = NetworkLattice.for_network(layers)
+        >>> lat.layer_cycles(PIMArray.square(512)).tolist()
+        [504, 504]
+        """
         geo = self._geo_cycles(*self._rows_cols([array]))[0]
         return geo[self.layer_geo]
 
     def network_cycles(self, array: PIMArray) -> int:
         """Total network cycles on *array* (distinct layers summed once
-        per occurrence, like ``dse.network_cycles``)."""
+        per occurrence, like ``dse.network_cycles``).
+
+        >>> lat = NetworkLattice.for_network(
+        ...     [ConvLayer.square(14, 3, 256, 256)])
+        >>> lat.network_cycles(PIMArray.square(512))
+        504
+        """
         geo = self._geo_cycles(*self._rows_cols([array]))[0]
         return int(geo @ self.counts)
 
@@ -344,6 +367,12 @@ class NetworkLattice:
 
         One vectorized evaluation over the shared flat grids, chunked
         so no more than ~2M ``array x cell`` entries are live at once.
+
+        >>> lat = NetworkLattice.for_network(
+        ...     [ConvLayer.square(14, 3, 256, 256)])
+        >>> lat.cycles_for([PIMArray.square(256),
+        ...                 PIMArray.square(512)]).tolist()
+        [1296, 504]
         """
         arrays = list(arrays)
         if not arrays:
@@ -360,5 +389,10 @@ class NetworkLattice:
 
 def network_lattice(network: Iterable[ConvLayer],
                     scheme: str = "vw-sdk") -> NetworkLattice:
-    """Convenience alias for :meth:`NetworkLattice.for_network`."""
+    """Convenience alias for :meth:`NetworkLattice.for_network`.
+
+    >>> lat = network_lattice([ConvLayer.square(14, 3, 256, 256)])
+    >>> lat.network_cycles(PIMArray.square(512))
+    504
+    """
     return NetworkLattice.for_network(network, scheme)

@@ -1,26 +1,39 @@
 """Design-space exploration: inverse sizing and Pareto analysis.
 
-All entry points share the batched network lattices exposed by the
+All entry points share the batched lattices exposed by the
 :class:`~repro.api.engine.MappingEngine` — array-size bisections and
-array sweeps reuse one window-grid evaluation per layer geometry
-instead of re-solving per probe.
+(non-square) array sweeps reuse one window-grid evaluation per layer
+geometry, and array-count bisections replay one precomputed
+:class:`~repro.chip.sweep.ChipLattice` — instead of re-solving or
+re-planning per probe.  Infeasible targets raise the typed
+:class:`InfeasibleTargetError`.
 """
 
 from .pareto import (
+    DEFAULT_SIDES,
     ArrayDesignPoint,
     ParetoPoint,
+    array_candidates,
     array_pareto,
     pareto_front,
     window_pareto,
 )
-from .requirements import network_cycles, smallest_chip, smallest_square_array
+from .requirements import (
+    InfeasibleTargetError,
+    network_cycles,
+    smallest_chip,
+    smallest_square_array,
+)
 
 __all__ = [
     "ParetoPoint",
     "ArrayDesignPoint",
+    "DEFAULT_SIDES",
     "pareto_front",
     "window_pareto",
     "array_pareto",
+    "array_candidates",
+    "InfeasibleTargetError",
     "network_cycles",
     "smallest_square_array",
     "smallest_chip",

@@ -20,6 +20,14 @@ every candidate through one batched
 (:meth:`~repro.api.engine.MappingEngine.sweep_cycles`) instead of
 re-solving ``candidates x layers`` mapping problems, then extracting
 the cells-vs-cycles frontier.
+
+VW-SDK's headline result is that non-square windows unlock non-square
+*array* trade-offs, so the candidate axis is explored natively:
+:func:`array_candidates` generates ``(rows, cols)`` grids with the two
+sides varied independently under a total-cells budget, and
+:func:`array_pareto` generates them itself when no explicit candidate
+list is passed.  The whole non-square frontier still costs one batched
+lattice call — candidate count only widens the vectorized sweep.
 """
 
 from __future__ import annotations
@@ -35,7 +43,14 @@ from ..networks.layerset import Network
 from ..search import CandidateSpace, enumerate_feasible
 
 __all__ = ["ParetoPoint", "ArrayDesignPoint", "pareto_front",
-           "window_pareto", "array_pareto"]
+           "window_pareto", "array_pareto", "array_candidates",
+           "DEFAULT_SIDES"]
+
+#: Default side-length ladder for :func:`array_candidates`: powers of
+#: two from 32 to 1024 interleaved with their 1.5x midpoints — fine
+#: enough to expose aspect-ratio trade-offs, coarse enough that the
+#: full non-square cross product stays a one-call batched sweep.
+DEFAULT_SIDES = (32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024)
 
 T = TypeVar("T")
 
@@ -81,17 +96,59 @@ class ArrayDesignPoint:
         return self.array.cells
 
 
-def array_pareto(network: Network, candidates: Sequence[PIMArray],
+def array_candidates(max_cells: int, *,
+                     sides: Optional[Sequence[int]] = None,
+                     square_only: bool = False) -> List[PIMArray]:
+    """Candidate arrays under a silicon budget, sides explored freely.
+
+    Generates every ``rows x cols`` combination of *sides* (the
+    :data:`DEFAULT_SIDES` ladder unless given) whose total cell count
+    fits *max_cells* — rows and cols vary **independently**, so tall
+    and wide rectangles enter the design space on equal footing with
+    squares.  ``square_only=True`` restricts to the diagonal (the
+    pre-non-square behaviour, kept for A/B comparisons).  Candidates
+    come back sorted by ``(cells, rows)`` so equal-cost shapes stay
+    adjacent in reports.
+
+    >>> [str(a) for a in array_candidates(128 * 128, sides=(64, 128, 256))]
+    ['64x64', '64x128', '128x64', '64x256', '128x128', '256x64']
+    >>> [str(a) for a in array_candidates(128 * 128, sides=(64, 128, 256),
+    ...                                   square_only=True)]
+    ['64x64', '128x128']
+    """
+    if max_cells < 1:
+        raise ValueError(f"max_cells must be >= 1, got {max_cells}")
+    ladder = tuple(sides) if sides is not None else DEFAULT_SIDES
+    if square_only:
+        chosen = [PIMArray.square(s) for s in ladder if s * s <= max_cells]
+    else:
+        chosen = [PIMArray(r, c) for r in ladder for c in ladder
+                  if r * c <= max_cells]
+    return sorted(chosen, key=lambda a: (a.cells, a.rows))
+
+
+def array_pareto(network: Network,
+                 candidates: Optional[Sequence[PIMArray]] = None,
                  scheme: str = "vw-sdk", *,
+                 max_cells: int = 512 * 512,
+                 sides: Optional[Sequence[int]] = None,
+                 square_only: bool = False,
                  engine: Optional[MappingEngine] = None
                  ) -> List[ArrayDesignPoint]:
-    """Cells-vs-cycles frontier of *candidates* for *network*.
+    """Cells-vs-cycles frontier of candidate arrays for *network*.
 
     All candidates are evaluated in one batched sweep over the
     network's shared lattice (engine fallback for non-batchable
     schemes).  Returned points are sorted by cell count ascending /
     cycles descending; dominated and duplicate-cost candidates are
     dropped (the cheapest-then-first candidate wins each cell count).
+
+    When *candidates* is ``None`` they are generated by
+    :func:`array_candidates` under the *max_cells* budget —
+    non-square by default; pass ``square_only=True`` for the
+    squares-only baseline frontier.  Because squares are a subset of
+    the generated grid, the non-square frontier always dominates or
+    equals the square-only one point for point.
 
     >>> from repro.networks import resnet18
     >>> front = array_pareto(resnet18(),
@@ -100,6 +157,9 @@ def array_pareto(network: Network, candidates: Sequence[PIMArray],
     [36310, 10287, 4294]
     """
     eng = engine if engine is not None else default_engine()
+    if candidates is None:
+        candidates = array_candidates(max_cells, sides=sides,
+                                      square_only=square_only)
     totals = eng.sweep_cycles(network, candidates, scheme)
     order = sorted(range(len(candidates)),
                    key=lambda k: (candidates[k].cells, int(totals[k])))
@@ -138,6 +198,11 @@ def window_pareto(layer: ConvLayer, array: PIMArray) -> List[ParetoPoint]:
     Returned points are sorted by cycles; the first entry is the
     cycle-optimal window (Algorithm 1's answer), the last the
     utilization-optimal one.
+
+    >>> front = window_pareto(ConvLayer.square(14, 3, 256, 256),
+    ...                       PIMArray.square(512))
+    >>> front[0].cycles            # Algorithm 1's 4x3-window optimum
+    504
     """
     # The kernel-sized im2col entry keeps the scalar eq. 9 accounting
     # (fine-grained row chunks); every other window reads the lattice.

@@ -3,10 +3,11 @@
 The paper answers "given an array, how fast is the layer"; deployment
 asks the inverse: *how big an array* (or *how many arrays*) achieves a
 latency target.  Cycle counts are monotone non-increasing in the array
-size (property-tested), so bisection answers both questions exactly.
+size and the greedy's bottleneck in the array budget (property-tested),
+so bisection answers both questions exactly.
 
-Every probe of those bisections used to re-solve the whole network.
-They now share work two ways:
+Every probe of those bisections used to re-solve (or re-plan) the whole
+network.  They now share work through the engine's batched lattices:
 
 * array-size probes read one batched
   :class:`~repro.core.sweep.NetworkLattice` through
@@ -14,9 +15,18 @@ They now share work two ways:
   grids are array-independent, so a probe costs two integer-divide
   maps, not a per-layer search (schemes without a batchable form fall
   back to the engine's memoized ``map_batch``);
-* array-count probes hoist the per-layer solutions out of the loop —
-  they depend only on ``(layer, array, scheme)``, which the bisection
-  never changes — and hand them to ``plan_pipeline`` ready-made.
+* array-count probes replay one
+  :class:`~repro.chip.sweep.ChipLattice`
+  (:meth:`~repro.api.engine.MappingEngine.chip_lattice`) — the greedy
+  allocator's merged latency staircases are budget-independent, so a
+  probe costs a binary search over precomputed prefix costs, not a
+  ``heapq`` run (bit-identical to it, property-tested).
+
+Targets that cannot be met inside the search bounds raise
+:class:`InfeasibleTargetError` (a :class:`~repro.core.types.ReproError`
+subclass) carrying the best value the bounds allow, so callers can
+distinguish "ask for a bigger budget" from malformed arguments
+(:class:`~repro.core.types.ConfigurationError`).
 """
 
 from __future__ import annotations
@@ -25,12 +35,34 @@ from typing import Optional
 
 from ..api.engine import MappingEngine, default_engine
 from ..chip.config import ChipConfig
-from ..chip.pipeline import InsufficientArraysError, plan_pipeline
 from ..core.array import PIMArray
-from ..core.types import ConfigurationError
+from ..core.types import ConfigurationError, ReproError
 from ..networks.layerset import Network
 
-__all__ = ["smallest_square_array", "smallest_chip", "network_cycles"]
+__all__ = ["InfeasibleTargetError", "smallest_square_array",
+           "smallest_chip", "network_cycles"]
+
+
+class InfeasibleTargetError(ReproError):
+    """The requested target cannot be met within the search bounds.
+
+    Raised by :func:`smallest_square_array` and :func:`smallest_chip`
+    when even the largest hardware the bounds allow misses the target.
+    :attr:`best` carries the best achievable value at the bound (total
+    cycles / bottleneck cycles), so callers can report how far off the
+    target was; it is ``None`` when no bounded configuration is
+    feasible at all.
+    """
+
+    def __init__(self, message: str, *, best: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.best = best
+
+
+def _network_label(network) -> str:
+    """A display name for error messages; plain layer iterables (which
+    the engine layer deliberately accepts) have no ``.name``."""
+    return getattr(network, "name", None) or "network"
 
 
 def network_cycles(network: Network, array: PIMArray,
@@ -41,6 +73,10 @@ def network_cycles(network: Network, array: PIMArray,
     Routes through the shared engine: batchable schemes read the
     network's shared lattice, the rest resolve via ``map_batch`` so
     repeated ``(layer, array, scheme)`` probes hit the solution memo.
+
+    >>> from repro.networks import resnet18
+    >>> network_cycles(resnet18(), PIMArray.square(512))
+    4294
     """
     eng = engine if engine is not None else default_engine()
     return eng.network_cycles(network, array, scheme)
@@ -50,18 +86,25 @@ def smallest_square_array(network: Network, target_cycles: int,
                           scheme: str = "vw-sdk", *,
                           lo: int = 8, hi: int = 65536,
                           engine: Optional[MappingEngine] = None
-                          ) -> Optional[PIMArray]:
-    """Smallest square array meeting a total-cycle target, or ``None``.
+                          ) -> PIMArray:
+    """Smallest square array meeting a total-cycle target.
 
     Bisection over the side length; exact because cycles are monotone
     non-increasing in the array size.  All probes share the network's
     array-independent window lattice, so the whole bisection costs one
-    grid evaluation plus a cheap finishing step per probe.
+    grid evaluation plus a cheap finishing step per probe.  Raises
+    :class:`InfeasibleTargetError` when even the ``hi x hi`` array
+    misses the target.
 
     >>> from repro.networks import resnet18
     >>> arr = smallest_square_array(resnet18(), 4294)
-    >>> arr is not None and arr.rows <= 512
+    >>> arr.rows <= 512
     True
+    >>> smallest_square_array(resnet18(), 1, hi=512)
+    Traceback (most recent call last):
+        ...
+    repro.dse.requirements.InfeasibleTargetError: Resnet-18 needs 4294 \
+cycles even on a 512x512 array; target 1 is out of reach below hi=512
     """
     if target_cycles < 1:
         raise ConfigurationError("target_cycles must be >= 1")
@@ -70,8 +113,13 @@ def smallest_square_array(network: Network, target_cycles: int,
     def total(side: int) -> int:
         return eng.network_cycles(network, PIMArray.square(side), scheme)
 
-    if total(hi) > target_cycles:
-        return None
+    best = total(hi)
+    if best > target_cycles:
+        raise InfeasibleTargetError(
+            f"{_network_label(network)} needs {best} cycles even on a "
+            f"{hi}x{hi} "
+            f"array; target {target_cycles} is out of reach below hi={hi}",
+            best=best)
     low, high = lo, hi
     while low < high:
         mid = (low + high) // 2
@@ -86,36 +134,44 @@ def smallest_chip(network: Network, array: PIMArray,
                   target_bottleneck: int, scheme: str = "vw-sdk", *,
                   max_arrays: int = 1 << 20,
                   engine: Optional[MappingEngine] = None
-                  ) -> Optional[ChipConfig]:
+                  ) -> ChipConfig:
     """Fewest crossbars whose pipeline bottleneck meets the target.
 
     Bisection over the array count (the greedy allocator's bottleneck
-    is monotone non-increasing in the budget).  The per-layer mappings
-    depend only on ``(layer, array, scheme)`` — fixed across probes —
-    so they are solved once up front and every probe replans only the
-    allocation.  Returns ``None`` when even ``max_arrays`` crossbars
-    cannot reach the target.
+    is monotone non-increasing in the budget).  Every probe replays the
+    engine's shared :class:`~repro.chip.sweep.ChipLattice` — the greedy
+    outcome read off precomputed merged staircases by binary search —
+    so neither the per-layer mappings nor the ``heapq`` allocation are
+    ever recomputed per probe.  Raises :class:`InfeasibleTargetError`
+    when even ``max_arrays`` crossbars cannot reach the target.
+
+    >>> from repro.networks import resnet18
+    >>> chip = smallest_chip(resnet18(), PIMArray.square(512), 200,
+    ...                      max_arrays=4096)
+    >>> chip.num_arrays
+    36
     """
     if target_bottleneck < 1:
         raise ConfigurationError("target_bottleneck must be >= 1")
     eng = engine if engine is not None else default_engine()
-    solutions = tuple(eng.solve(layer, array, scheme) for layer in network)
+    lattice = eng.chip_lattice(network, array, scheme)
 
-    def bottleneck(count: int) -> Optional[int]:
-        try:
-            plan = plan_pipeline(network, ChipConfig(array, count), scheme,
-                                 engine=eng, solutions=solutions)
-        except InsufficientArraysError:
-            return None
-        return plan.bottleneck_cycles
-
-    top = bottleneck(max_arrays)
-    if top is None or top > target_bottleneck:
-        return None
+    top = lattice.bottleneck_at(max_arrays)
+    if top is None:
+        raise InfeasibleTargetError(
+            f"{_network_label(network)} needs {lattice.floor_arrays} "
+            f"arrays for "
+            f"weight residency with {scheme} on {array}, more than "
+            f"max_arrays={max_arrays}", best=None)
+    if top > target_bottleneck:
+        raise InfeasibleTargetError(
+            f"{_network_label(network)} bottlenecks at {top} cycles even with "
+            f"{max_arrays} {array} arrays; target {target_bottleneck} "
+            f"is out of reach", best=top)
     low, high = 1, max_arrays
     while low < high:
         mid = (low + high) // 2
-        value = bottleneck(mid)
+        value = lattice.bottleneck_at(mid)
         if value is not None and value <= target_bottleneck:
             high = mid
         else:

@@ -4,8 +4,10 @@ import pytest
 
 from repro import ChipConfig, ConvLayer, PIMArray
 from repro.chip import (
+    ChipLattice,
     InsufficientArraysError,
     allocate_layer,
+    chip_lattice,
     plan_pipeline,
     residency_arrays,
 )
@@ -153,3 +155,79 @@ class TestPipeline:
         plan = plan_pipeline(resnet18(), chip)
         assert plan.throughput_per_kcycle == pytest.approx(
             1000 / plan.bottleneck_cycles)
+
+
+ARRAY = PIMArray.square(512)
+
+
+class TestChipLattice:
+    @pytest.fixture(scope="class")
+    def lattice(self):
+        return ChipLattice.for_network(resnet18(), ARRAY)
+
+    def test_floor_matches_residency_minimum(self, lattice):
+        sols = [solve(layer, ARRAY, "vw-sdk") for layer in resnet18()]
+        floor = sum(residency_arrays(s) * s.layer.repeats for s in sols)
+        assert lattice.floor_arrays == floor
+
+    def test_outcome_matches_greedy(self, lattice):
+        for count in (23, 24, 31, 64, 100, 1000, 1 << 16):
+            plan = plan_pipeline(resnet18(), ChipConfig(ARRAY, count))
+            point = lattice.outcome(count)
+            assert point.bottleneck_cycles == plan.bottleneck_cycles
+            assert point.fill_latency_cycles == plan.fill_latency_cycles
+            assert point.arrays_used == plan.arrays_used
+
+    def test_sweep_matches_scalar_path(self, lattice):
+        counts = list(range(1, 200, 7)) + [1 << 12]
+        sweep = lattice.sweep(counts)
+        for index, count in enumerate(counts):
+            assert sweep.outcome(index) == lattice.outcome(count)
+
+    def test_infeasible_below_floor(self, lattice):
+        assert lattice.outcome(lattice.floor_arrays - 1) is None
+        assert lattice.bottleneck_at(1) is None
+        sweep = lattice.sweep([lattice.floor_arrays - 1])
+        assert not sweep.feasible[0]
+        assert sweep.outcome(0) is None
+        assert sweep.rows()[0]["bottleneck"] == "-"
+
+    def test_saturated_budget_reaches_latency_one(self, lattice):
+        # With effectively unlimited arrays every stage replicates
+        # until one parallel-window position per stage remains.
+        point = lattice.outcome(1 << 20)
+        assert point.bottleneck_cycles == 1
+        assert point.fill_latency_cycles == lattice.num_stages
+
+    def test_arrays_used_never_exceeds_budget(self, lattice):
+        sweep = lattice.sweep(range(23, 400))
+        assert (sweep.arrays_used <= sweep.num_arrays).all()
+
+    def test_sweep_len_and_rows(self, lattice):
+        sweep = lattice.sweep([32, 64])
+        assert len(sweep) == 2
+        rows = sweep.rows()
+        assert rows[0]["arrays"] == 32
+        assert rows[1]["used"] <= 64
+
+    def test_outcome_throughput(self, lattice):
+        point = lattice.outcome(64)
+        assert point.throughput_per_kcycle == pytest.approx(
+            1000 / point.bottleneck_cycles)
+
+    def test_for_solutions_alias(self):
+        sols = [solve(layer, ARRAY, "vw-sdk") for layer in resnet18()]
+        assert (chip_lattice(sols).floor_arrays
+                == ChipLattice.for_solutions(sols).floor_arrays)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ChipLattice.for_solutions([])
+
+    def test_single_layer_network(self):
+        net = [ConvLayer.square(14, 3, 256, 256)]
+        lat = ChipLattice.for_network(net, ARRAY)
+        sol = solve(net[0], ARRAY, "vw-sdk")
+        # 7 tiles, 72 positions: 14 arrays -> 2 replicas -> 36 cycles.
+        assert lat.outcome(14).bottleneck_cycles == 36
+        assert lat.outcome(7).bottleneck_cycles == sol.breakdown.n_pw

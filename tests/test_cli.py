@@ -73,13 +73,75 @@ class TestLandscapeCommand:
 
 class TestChipCommand:
     def test_plans_pipeline(self, capsys):
-        assert main(["chip", "resnet18", "--arrays", "64"]) == 0
+        assert main(["chip", "plan", "resnet18", "--arrays", "64"]) == 0
         out = capsys.readouterr().out
         assert "bottleneck" in out
         assert "arrays used" in out
+
+    def test_legacy_spelling_still_plans(self, capsys):
+        # Pre-subcommand CLI: `chip NETWORK ...` implies `chip plan`.
+        assert main(["chip", "resnet18", "--arrays", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "bottleneck" in out
 
     def test_scheme_flag(self, capsys):
         assert main(["chip", "resnet18", "--arrays", "64",
                      "--scheme", "im2col"]) == 0
         out = capsys.readouterr().out
         assert "im2col" in out
+
+    def test_sweep_counts_range(self, capsys):
+        assert main(["chip", "sweep", "resnet18",
+                     "--counts", "23:63:8"]) == 0
+        out = capsys.readouterr().out
+        assert "residency floor: 23 arrays" in out
+        assert "ChipLattice" in out
+
+    def test_sweep_counts_list_marks_infeasible(self, capsys):
+        assert main(["chip", "sweep", "resnet18",
+                     "--counts", "4,64"]) == 0
+        out = capsys.readouterr().out
+        assert "-" in out          # the 4-array probe is below the floor
+        assert "81" in out         # the 64-array bottleneck
+
+    def test_sweep_default_grid(self, capsys):
+        assert main(["chip", "sweep", "resnet18"]) == 0
+        out = capsys.readouterr().out
+        assert "chip sweep" in out
+
+    def test_sweep_bad_counts_spec(self):
+        for spec in ("1:2:3:4", "23:abc", "4,x", "64:32", "23:64:0", ","):
+            with pytest.raises(SystemExit):
+                main(["chip", "sweep", "resnet18", "--counts", spec])
+
+
+class TestDseCommand:
+    def test_square_frontier(self, capsys):
+        assert main(["dse", "sweep", "resnet18",
+                     "--max-cells", "65536"]) == 0
+        out = capsys.readouterr().out
+        assert "square cells-vs-cycles frontier" in out
+        assert "256x256" in out
+
+    def test_non_square_frontier(self, capsys):
+        assert main(["dse", "sweep", "resnet18", "--non-square",
+                     "--max-cells", "65536"]) == 0
+        out = capsys.readouterr().out
+        assert "non-square cells-vs-cycles frontier" in out
+        assert "256x64" in out     # a rectangle on the frontier
+
+    def test_sides_override(self, capsys):
+        assert main(["dse", "sweep", "resnet18", "--sides", "64,128",
+                     "--max-cells", "16384"]) == 0
+        out = capsys.readouterr().out
+        assert "64x64" in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["dse"])
+
+    def test_bad_sides_and_budget_exit_cleanly(self):
+        for argv in (["--sides", "64,abc"], ["--sides", ","],
+                     ["--sides", "0,64"], ["--max-cells", "0"]):
+            with pytest.raises(SystemExit):
+                main(["dse", "sweep", "resnet18"] + argv)

@@ -3,7 +3,10 @@
 import pytest
 
 from repro import ConvLayer, PIMArray
+from repro.core.types import ReproError
 from repro.dse import (
+    InfeasibleTargetError,
+    array_candidates,
     array_pareto,
     network_cycles,
     pareto_front,
@@ -28,15 +31,27 @@ class TestSmallestArray:
         smaller = PIMArray.square(arr.rows - 1)
         assert network_cycles(resnet18(), smaller) > 10000
 
-    def test_unreachable_target(self):
+    def test_unreachable_target_raises_typed_error(self):
         net = Network.from_layers("t", [ConvLayer.square(14, 3, 8, 8)])
-        # Even an enormous array needs >= num_windows cycles... actually
-        # >= N_PW >= 1; pick target 0-equivalent via 1 cycle with tiny hi.
-        assert smallest_square_array(net, 1, hi=16) is None
+        with pytest.raises(InfeasibleTargetError) as info:
+            smallest_square_array(net, 1, hi=16)
+        # The error reports the best achievable total at the bound and
+        # stays catchable as the library-wide base class.
+        assert info.value.best == network_cycles(net, PIMArray.square(16))
+        assert isinstance(info.value, ReproError)
 
     def test_validation(self):
         with pytest.raises(Exception):
             smallest_square_array(resnet18(), 0)
+
+    def test_plain_layer_list_infeasible_raises_typed_error(self):
+        # The engine layer deliberately accepts plain layer iterables
+        # (no .name); the infeasible path must too.
+        layers = [ConvLayer.square(14, 3, 8, 8)]
+        with pytest.raises(InfeasibleTargetError):
+            smallest_square_array(layers, 1, hi=16)
+        with pytest.raises(InfeasibleTargetError):
+            smallest_chip(layers, PIMArray.square(16), 1, max_arrays=2)
 
 
 class TestSmallestChip:
@@ -60,9 +75,22 @@ class TestSmallestChip:
         except InsufficientArraysError:
             pass  # one fewer array cannot even hold the weights
 
-    def test_unreachable(self):
-        assert smallest_chip(resnet18(), PIMArray.square(512), 1,
-                             max_arrays=64) is None
+    def test_unreachable_raises_typed_error(self):
+        with pytest.raises(InfeasibleTargetError) as info:
+            smallest_chip(resnet18(), PIMArray.square(512), 1,
+                          max_arrays=64)
+        from repro.chip import ChipConfig, plan_pipeline
+        best = plan_pipeline(resnet18(),
+                             ChipConfig(PIMArray.square(512), 64)
+                             ).bottleneck_cycles
+        assert info.value.best == best
+
+    def test_unreachable_floor_raises_with_no_best(self):
+        # Two arrays cannot even hold ResNet-18's weights resident.
+        with pytest.raises(InfeasibleTargetError) as info:
+            smallest_chip(resnet18(), PIMArray.square(512), 10000,
+                          max_arrays=2)
+        assert info.value.best is None
 
 
 class TestPareto:
@@ -114,6 +142,45 @@ class TestPareto:
         front = array_pareto(resnet18(), candidates, scheme="sdk")
         assert [p.cycles for p in front] == [
             network_cycles(resnet18(), c, "sdk") for c in candidates]
+
+    def test_array_candidates_respect_cells_budget(self):
+        for arr in array_candidates(64 * 64):
+            assert arr.cells <= 64 * 64
+
+    def test_array_candidates_non_square_superset_of_square(self):
+        square = set(array_candidates(512 * 512, square_only=True))
+        full = set(array_candidates(512 * 512))
+        assert square < full
+        assert any(a.rows != a.cols for a in full)
+
+    def test_array_candidates_custom_sides(self):
+        got = array_candidates(128 * 128, sides=(64, 128))
+        assert {str(a) for a in got} == {"64x64", "64x128", "128x64",
+                                         "128x128"}
+
+    def test_array_candidates_rejects_empty_budget(self):
+        with pytest.raises(ValueError):
+            array_candidates(0)
+
+    def test_generated_non_square_frontier_dominates_square(self):
+        # The ISSUE acceptance criterion: on the README network the
+        # non-square frontier dominates-or-equals the square-only one.
+        net = resnet18()
+        square = array_pareto(net, square_only=True)
+        full = array_pareto(net)
+        for point in square:
+            assert any(q.cells <= point.cells and q.cycles <= point.cycles
+                       for q in full), point
+        # And it strictly improves somewhere: some rectangle beats the
+        # best square of equal-or-larger cost.
+        assert any(q.array.rows != q.array.cols for q in full)
+
+    def test_generated_frontier_matches_explicit_candidates(self):
+        net = resnet18()
+        explicit = array_pareto(net, array_candidates(256 * 256))
+        generated = array_pareto(net, max_cells=256 * 256)
+        assert [(p.array, p.cycles) for p in explicit] == \
+            [(p.array, p.cycles) for p in generated]
 
     def test_window_pareto_sorted_and_tradeoff(self):
         layer = ConvLayer.square(14, 3, 64, 64)

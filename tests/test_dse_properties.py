@@ -1,16 +1,25 @@
-"""Monotonicity invariants the DSE bisections rely on.
+"""Monotonicity and equivalence invariants the DSE layer relies on.
 
 ``smallest_square_array`` bisects over the array side and
 ``smallest_chip`` over the array count; both are exact only because
 cycles are monotone non-increasing in rows, columns and array budget.
 The requirements docstrings claim it — these properties pin it, over
 randomized layers *including strided and padded ones*.
+
+``ChipLattice`` replays the pipeline greedy from precomputed merged
+staircases; the equivalence properties here pin it **bit-identical**
+to the per-probe ``heapq`` greedy — bottleneck, fill latency and
+arrays used — over random networks (repeats included), schemes, array
+shapes and probe grids, through both the vectorized ``sweep`` path and
+the scalar merged-binary-search ``outcome`` path.
 """
+
+import dataclasses
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.chip import ChipConfig, plan_pipeline
+from repro.chip import ChipConfig, ChipLattice, plan_pipeline
 from repro.chip.pipeline import InsufficientArraysError
 from repro.core import ConvLayer, PIMArray
 from repro.dse import network_cycles
@@ -80,5 +89,61 @@ def test_bottleneck_non_increasing_in_array_count(network, count, extra):
 
     base = bottleneck(count)
     bigger = bottleneck(count + extra)
+    if base is not None:
+        assert bigger is not None and bigger <= base
+
+
+# ----------------------------------------------------------------------
+# ChipLattice vs the per-probe heapq greedy
+# ----------------------------------------------------------------------
+
+#: Networks whose layers carry block repeats too — the replica step
+#: cost ``tiles * repeats`` must match the greedy's.
+repeated_networks = st.lists(
+    st.tuples(layers, st.integers(min_value=1, max_value=3)),
+    min_size=1, max_size=4,
+).map(lambda pairs: Network.from_layers(
+    "rand", [dataclasses.replace(layer, repeats=reps)
+             for layer, reps in pairs]))
+
+probe_grids = st.lists(st.integers(min_value=1, max_value=1 << 14),
+                       min_size=1, max_size=8)
+
+
+def _greedy_outcome(network, array, count, scheme):
+    try:
+        plan = plan_pipeline(network, ChipConfig(array, count), scheme)
+    except InsufficientArraysError:
+        return None
+    return (plan.bottleneck_cycles, plan.fill_latency_cycles,
+            plan.arrays_used)
+
+
+@given(repeated_networks, arrays, probe_grids, st.sampled_from(SCHEMES))
+@settings(max_examples=50, deadline=None)
+def test_chip_lattice_bit_identical_to_greedy(network, array, counts,
+                                              scheme):
+    lattice = ChipLattice.for_network(network, array, scheme)
+    sweep = lattice.sweep(counts)
+    for index, count in enumerate(counts):
+        reference = _greedy_outcome(network, array, count, scheme)
+        vec = sweep.outcome(index)
+        scalar = lattice.outcome(count)
+        for got in (vec, scalar):
+            if reference is None:
+                assert got is None
+            else:
+                assert (got.bottleneck_cycles, got.fill_latency_cycles,
+                        got.arrays_used) == reference
+
+
+@given(repeated_networks, arrays, st.integers(min_value=1, max_value=512),
+       st.integers(min_value=1, max_value=256))
+@settings(max_examples=50, deadline=None)
+def test_chip_lattice_bottleneck_monotone_in_count(network, array, count,
+                                                   extra):
+    lattice = ChipLattice.for_network(network, array)
+    base = lattice.bottleneck_at(count)
+    bigger = lattice.bottleneck_at(count + extra)
     if base is not None:
         assert bigger is not None and bigger <= base
