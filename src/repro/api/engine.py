@@ -432,18 +432,25 @@ class MappingEngine:
     # ------------------------------------------------------------------
     # Chip sweeps (batched greedy planning)
     # ------------------------------------------------------------------
-    def chip_lattice(self, network, array: PIMArray,
-                     scheme: str = "vw-sdk"):
+    def chip_lattice(self, network, array, scheme: str = "vw-sdk", *,
+                     cost_params=None):
         """The memoized :class:`~repro.chip.sweep.ChipLattice` for
-        ``(network, array, scheme)``.
+        ``(network, array, scheme, cost_params)``.
 
         The lattice precomputes the min-max greedy's budget-independent
         state (per-stage latency staircases merged into consideration
         order) from the engine's per-layer solutions, so chip-level
         probes — ``smallest_chip`` bisections, :meth:`chip_sweep`
-        grids — replay it instead of re-running the ``heapq`` greedy.
-        Keyed by the per-layer ``(geometry, repeats)`` sequence plus the
-        scheme's registry version (names never change plan numbers).
+        grids, :meth:`chip_pareto` frontiers — replay it instead of
+        re-running the ``heapq`` greedy.  *array* is one
+        :class:`~repro.core.array.PIMArray` for a homogeneous chip or a
+        per-layer sequence for a heterogeneous pool plan
+        (:mod:`repro.chip.pools`).  With *cost_params*
+        (:class:`~repro.core.cost.CostParams`) every stage is priced
+        once and sweeps also report energy/area.  Keyed by the
+        per-layer ``(geometry, array, repeats)`` sequence, the cost
+        params and the scheme's registry version (names never change
+        plan numbers).
 
         >>> engine = MappingEngine()
         >>> from repro.networks import resnet18
@@ -453,23 +460,36 @@ class MappingEngine:
         """
         from ..chip.sweep import ChipLattice
         layers = tuple(network)
+        if isinstance(array, PIMArray):
+            arrays = (array,) * len(layers)
+        else:
+            arrays = tuple(array)
+            if len(arrays) != len(layers):
+                raise ConfigurationError(
+                    f"chip_lattice got {len(arrays)} per-stage arrays "
+                    f"for {len(layers)} layers")
         key = ("chip", scheme, self.registry.version(scheme),
-               array.rows, array.cols,
+               tuple((a.rows, a.cols) for a in arrays), cost_params,
                tuple((geo, layer.repeats) for geo, layer in
                      zip(NetworkLattice.geometry_key(layers), layers)))
         return self._sweeps.get_or_compute(
             key, lambda: ChipLattice.for_solutions(
-                [self.solve(layer, array, scheme) for layer in layers]))
+                [self.solve(layer, arr, scheme)
+                 for layer, arr in zip(layers, arrays)],
+                cost_params=cost_params))
 
-    def chip_sweep(self, network, array: PIMArray, counts,
-                   scheme: str = "vw-sdk"):
+    def chip_sweep(self, network, array, counts,
+                   scheme: str = "vw-sdk", *, cost_params=None):
         """Greedy pipeline outcomes for many chip array counts.
 
         One vectorized replay of the shared :meth:`chip_lattice` over
         the whole *counts* vector — bit-identical per probe to
         :func:`repro.chip.plan_pipeline` on a
         :class:`~repro.chip.config.ChipConfig` with that count.
-        Returns a :class:`~repro.chip.sweep.ChipSweep`.
+        Returns a :class:`~repro.chip.sweep.ChipSweep`; with
+        *cost_params* its probes also carry per-inference energy,
+        silicon cells and microsecond latency (bit-identical to
+        per-point scalar :func:`~repro.core.cost.cost_report` replay).
 
         >>> engine = MappingEngine()
         >>> from repro.networks import resnet18
@@ -478,7 +498,34 @@ class MappingEngine:
         >>> sweep.bottleneck_cycles.tolist()
         [243, 81, 18]
         """
-        return self.chip_lattice(network, array, scheme).sweep(counts)
+        return self.chip_lattice(network, array, scheme,
+                                 cost_params=cost_params).sweep(counts)
+
+    def chip_pareto(self, network, geometries=None,
+                    scheme: str = "vw-sdk", *, pools: bool = False,
+                    cost_params=None, max_cells: int = 512 * 512,
+                    sides=None, max_arrays=None, target_bottleneck=None):
+        """Cells / energy / latency frontier of chip deployments.
+
+        Facade over :func:`repro.dse.pareto.chip_pareto` bound to this
+        engine, so every plan's lattice and per-layer solution comes
+        from the shared memos.  ``pools=True`` adds the heterogeneous
+        best-fit plan (:mod:`repro.chip.pools`) to the candidate set;
+        its frontier then dominates-or-equals the homogeneous one.
+
+        >>> engine = MappingEngine()
+        >>> from repro.networks import resnet18
+        >>> front = engine.chip_pareto(
+        ...     resnet18(), [PIMArray.square(s) for s in (256, 512)])
+        >>> front[-1].bottleneck_cycles
+        1
+        """
+        from ..dse.pareto import chip_pareto
+        return chip_pareto(network, geometries, scheme, pools=pools,
+                           cost_params=cost_params, max_cells=max_cells,
+                           sides=sides, max_arrays=max_arrays,
+                           target_bottleneck=target_bottleneck,
+                           engine=self)
 
     # ------------------------------------------------------------------
     # Introspection / management

@@ -10,6 +10,7 @@ from .packing import (
     pack_tiles,
 )
 from .pipeline import InsufficientArraysError, PipelinePlan, plan_pipeline
+from .pools import PoolPlan, best_fit_arrays, pool_plans
 from .sweep import ChipLattice, ChipOutcome, ChipSweep, chip_lattice
 
 __all__ = [
@@ -18,6 +19,9 @@ __all__ = [
     "ChipOutcome",
     "ChipSweep",
     "chip_lattice",
+    "PoolPlan",
+    "best_fit_arrays",
+    "pool_plans",
     "LayerAllocation",
     "allocate_layer",
     "residency_arrays",

@@ -1,0 +1,191 @@
+"""Heterogeneous array pools: mixed crossbar geometries on one chip.
+
+The homogeneous chip model gives every pipeline stage the same
+``rows x cols`` crossbars.  Real PIM macros are taped out in families,
+and VW-SDK's own result — variable windows make *non-square* arrays
+competitive — means one geometry rarely fits every layer: early layers
+with huge ``N_PW`` want cheap small tiles to replicate, late layers
+with deep channels want tall arrays that shrink the residency floor.
+
+A *pool* is the set of geometries a chip may mix.  This module turns a
+pool into candidate deployment *plans*:
+
+* one **homogeneous** plan per pool geometry that can map every layer
+  (the baseline the heterogeneous frontier must dominate-or-equal);
+* one **mixed** plan assigning each stage its best-fitting geometry.
+
+"Best-fitting" minimises the stage's *cells-per-throughput* product
+``n_pw * tiles * cells``: reaching stage latency ``L`` needs
+``ceil(n_pw/L)`` replicas of ``tiles`` arrays of ``cells`` cells each,
+so for every latency target the stage's silicon bill scales with that
+product.  Ties fall to lower per-inference energy, then fewer cells,
+then the taller geometry — deterministic for identical layers, so
+repeated blocks always land on the same geometry.
+
+Every plan then flows through the *existing* staircase machinery: the
+:class:`~repro.chip.sweep.ChipLattice` merge never inspects the arrays
+(only per-stage ``(n_pw, tiles, repeats)``), so mixed-geometry stages
+replay through the same vectorized sweeps, and
+:func:`repro.dse.pareto.chip_pareto` prices every plan's frontier from
+one lattice each.
+
+>>> from repro.core import PIMArray
+>>> from repro.networks import resnet18
+>>> pool = [PIMArray.square(128), PIMArray.square(512)]
+>>> [plan.label for plan in pool_plans(resnet18(), pool)]
+['128x128', '512x512', 'mixed']
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.array import PIMArray
+from ..core.cost import DEFAULT_COST_PARAMS, CostParams, cost_report
+from ..core.types import ConfigurationError, MappingError
+from ..search.result import MappingSolution
+
+__all__ = ["PoolPlan", "best_fit_arrays", "pool_plans"]
+
+
+@dataclass(frozen=True)
+class PoolPlan:
+    """One candidate deployment: a geometry per pipeline stage.
+
+    ``label`` identifies the plan in frontiers and reports — the
+    geometry string (``"512x512"``) for homogeneous plans, ``"mixed"``
+    for the best-fit assignment.
+    """
+
+    label: str
+    #: Per-stage array geometry, aligned with the network's layers.
+    arrays: Tuple[PIMArray, ...]
+    homogeneous: bool
+
+    def __str__(self) -> str:  # noqa: D105 - compact summary
+        return f"{self.label}[{len(self.arrays)} stages]"
+
+
+def _default_engine():
+    from ..api.engine import default_engine
+    return default_engine()
+
+
+def _normalized_pool(pool: Sequence[PIMArray]) -> List[PIMArray]:
+    """Validate and canonicalise a pool: deduplicated, sorted by
+    ``(cells, rows)`` so plan order (and labels) never depend on the
+    caller's ordering."""
+    geometries = list(pool)
+    if not geometries:
+        raise ConfigurationError("array pool must name >= 1 geometry")
+    for geometry in geometries:
+        if not isinstance(geometry, PIMArray):
+            raise ConfigurationError(
+                f"array pool entries must be PIMArray, got "
+                f"{type(geometry).__name__}")
+    unique = {(g.rows, g.cols): g for g in geometries}
+    return sorted(unique.values(), key=lambda g: (g.cells, g.rows))
+
+
+def _fit_key(solution: MappingSolution,
+             cost_params: CostParams) -> Tuple[float, float, int, int]:
+    """The best-fit ordering key (lower is better) for one stage on one
+    geometry — see the module docstring."""
+    tiles = solution.breakdown.tiles_per_position
+    cells = solution.array.cells
+    energy = cost_report(solution, cost_params).compute_energy_nj
+    return (float(solution.breakdown.n_pw) * tiles * cells, energy,
+            cells, solution.array.rows)
+
+
+def best_fit_arrays(network, pool: Sequence[PIMArray],
+                    scheme: str = "vw-sdk", *,
+                    engine=None,
+                    cost_params: Optional[CostParams] = None
+                    ) -> Tuple[PIMArray, ...]:
+    """Assign every layer of *network* its best-fitting pool geometry.
+
+    Each ``(layer, geometry)`` pair is solved through the shared
+    engine's memo; geometries a layer cannot map on (``MappingError``)
+    are skipped for that layer.  Raises
+    :class:`~repro.core.types.MappingError` if some layer maps on no
+    pool geometry at all.
+
+    >>> from repro.core import PIMArray
+    >>> from repro.networks import resnet18
+    >>> pool = [PIMArray.square(128), PIMArray.square(512)]
+    >>> assignment = best_fit_arrays(resnet18(), pool)
+    >>> sorted({str(a) for a in assignment})
+    ['128x128', '512x512']
+    """
+    eng = engine if engine is not None else _default_engine()
+    params = cost_params if cost_params is not None else DEFAULT_COST_PARAMS
+    geometries = _normalized_pool(pool)
+    chosen: List[PIMArray] = []
+    for layer in network:
+        best: Optional[Tuple[Tuple[float, float, int, int], PIMArray]] = None
+        for geometry in geometries:
+            try:
+                solution = eng.solve(layer, geometry, scheme)
+            except MappingError:
+                continue
+            key = _fit_key(solution, params)
+            if best is None or key < best[0]:
+                best = (key, geometry)
+        if best is None:
+            raise MappingError(
+                f"layer {layer.name or layer.shape_str} maps on no pool "
+                f"geometry ({', '.join(map(str, geometries))}) "
+                f"with {scheme}")
+        chosen.append(best[1])
+    return tuple(chosen)
+
+
+def pool_plans(network, pool: Sequence[PIMArray],
+               scheme: str = "vw-sdk", *,
+               include_mixed: bool = True,
+               engine=None,
+               cost_params: Optional[CostParams] = None) -> List[PoolPlan]:
+    """Candidate deployment plans of *network* over an array *pool*.
+
+    One homogeneous plan per geometry that maps every layer, plus —
+    with *include_mixed* (the default) and >= 2 usable geometries — the
+    best-fit mixed plan when it differs from every homogeneous one.
+    Because the homogeneous plans are always included, any frontier
+    taken over all returned plans dominates-or-equals each single
+    geometry's frontier by construction.  Returns ``[]`` when no pool
+    geometry maps the whole network.
+
+    >>> from repro.core import PIMArray
+    >>> from repro.networks import resnet18
+    >>> pool = [PIMArray.square(128), PIMArray.square(512)]
+    >>> [p.label for p in pool_plans(resnet18(), pool,
+    ...                              include_mixed=False)]
+    ['128x128', '512x512']
+    """
+    eng = engine if engine is not None else _default_engine()
+    geometries = _normalized_pool(pool)
+    layers = tuple(network)
+    plans: List[PoolPlan] = []
+    for geometry in geometries:
+        try:
+            for layer in layers:
+                eng.solve(layer, geometry, scheme)
+        except MappingError:
+            continue
+        plans.append(PoolPlan(label=str(geometry),
+                              arrays=(geometry,) * len(layers),
+                              homogeneous=True))
+    if include_mixed and len(geometries) >= 2:
+        try:
+            assignment = best_fit_arrays(layers, geometries, scheme,
+                                         engine=eng,
+                                         cost_params=cost_params)
+        except MappingError:
+            assignment = None
+        if assignment is not None and \
+                all(plan.arrays != assignment for plan in plans):
+            plans.append(PoolPlan(label="mixed", arrays=assignment,
+                                  homogeneous=False))
+    return plans

@@ -49,12 +49,14 @@ Two replay engines share the precomputation:
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.cost import CostParams, cost_report
 from ..core.lattice import INFEASIBLE
 from ..core.types import ceil_div
 from ..search.result import MappingSolution
@@ -65,12 +67,22 @@ __all__ = ["ChipLattice", "ChipOutcome", "ChipSweep", "chip_lattice"]
 
 @dataclass(frozen=True)
 class ChipOutcome:
-    """The greedy plan's headline numbers for one array count."""
+    """The greedy plan's headline numbers for one array count.
+
+    ``cells_used`` is the silicon-area proxy (crossbar cells consumed,
+    per-stage geometries honoured); ``energy_nj`` / ``latency_us`` are
+    populated only when the lattice was built with
+    :class:`~repro.core.cost.CostParams` (see
+    :meth:`ChipLattice.for_solutions`).
+    """
 
     num_arrays: int
     bottleneck_cycles: int
     fill_latency_cycles: int
     arrays_used: int
+    cells_used: int = 0
+    energy_nj: Optional[float] = None
+    latency_us: Optional[float] = None
 
     @property
     def throughput_per_kcycle(self) -> float:
@@ -98,6 +110,17 @@ class ChipSweep:
     fill_latency_cycles: np.ndarray
     #: Crossbars consumed (repeats included) per probe: ``(A,)`` int64.
     arrays_used: np.ndarray
+    #: Crossbar cells consumed per probe (area proxy): ``(A,)`` int64;
+    #: 0 where infeasible.
+    cells_used: Optional[np.ndarray] = None
+    #: Per-inference compute energy per probe: ``(A,)`` float64, NaN
+    #: where infeasible; ``None`` when the lattice carries no cost
+    #: params.  Energy is budget-independent (replicas split the same
+    #: total work), so feasible probes all carry the plan's constant.
+    energy_nj: Optional[np.ndarray] = None
+    #: Steady-state bottleneck latency per probe in microseconds:
+    #: ``(A,)`` float64, NaN where infeasible; ``None`` uncosted.
+    latency_us: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
         return int(self.num_arrays.size)
@@ -111,21 +134,34 @@ class ChipSweep:
             num_arrays=int(self.num_arrays[index]),
             bottleneck_cycles=int(self.bottleneck_cycles[index]),
             fill_latency_cycles=int(self.fill_latency_cycles[index]),
-            arrays_used=int(self.arrays_used[index]))
+            arrays_used=int(self.arrays_used[index]),
+            cells_used=(int(self.cells_used[index])
+                        if self.cells_used is not None else 0),
+            energy_nj=(float(self.energy_nj[index])
+                       if self.energy_nj is not None else None),
+            latency_us=(float(self.latency_us[index])
+                        if self.latency_us is not None else None))
 
     def rows(self) -> List[Dict[str, object]]:
         """Per-probe table for reports (infeasible probes marked)."""
+        costed = self.energy_nj is not None
         out: List[Dict[str, object]] = []
         for i in range(len(self)):
             point = self.outcome(i)
             if point is None:
-                out.append({"arrays": int(self.num_arrays[i]),
-                            "bottleneck": "-", "fill": "-", "used": "-"})
+                row: Dict[str, object] = {
+                    "arrays": int(self.num_arrays[i]),
+                    "bottleneck": "-", "fill": "-", "used": "-"}
+                if costed:
+                    row["energy (nJ)"] = "-"
             else:
-                out.append({"arrays": point.num_arrays,
-                            "bottleneck": point.bottleneck_cycles,
-                            "fill": point.fill_latency_cycles,
-                            "used": point.arrays_used})
+                row = {"arrays": point.num_arrays,
+                       "bottleneck": point.bottleneck_cycles,
+                       "fill": point.fill_latency_cycles,
+                       "used": point.arrays_used}
+                if costed:
+                    row["energy (nJ)"] = round(point.energy_nj, 3)
+            out.append(row)
         return out
 
 
@@ -182,14 +218,39 @@ class ChipLattice:
     group_count: np.ndarray
     group_k: np.ndarray
     group_cum: np.ndarray
+    #: Crossbar cells of each stage's own array geometry: ``(S,)``
+    #: int64.  Heterogeneous pools feed mixed-geometry solutions, so
+    #: area accounting must be per stage, not per chip.
+    cells: Optional[np.ndarray] = None
+    #: Cost constants the energy figures were priced with (``None`` for
+    #: an uncosted lattice — energy/latency vectors stay ``None``).
+    cost_params: Optional[CostParams] = None
+    #: Per-inference compute energy of *one repeat* of each stage:
+    #: ``(S,)`` float64 (multiply by :attr:`repeats` for the block's
+    #: total).  Budget-independent: replicas split the same
+    #: ``N_PW x tiles`` firings, they do not add any.  Kept per repeat
+    #: so :attr:`total_energy_nj` can sum the exact per-repeat terms —
+    #: rounding ``energy * repeats`` first would break the
+    #: grouped-vs-unrolled invariance by 1 ulp.
+    stage_energy_nj: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def for_solutions(cls, solutions: Sequence[MappingSolution]
+    def for_solutions(cls, solutions: Sequence[MappingSolution], *,
+                      cost_params: Optional[CostParams] = None
                       ) -> "ChipLattice":
         """Precompute the greedy's merged staircases for *solutions*.
+
+        *solutions* may mix array geometries (heterogeneous pools): the
+        staircase merge never looks at the arrays, only at each stage's
+        ``(n_pw, tiles, repeats)``, and area accounting is per stage.
+        With *cost_params* every stage is priced once through the
+        scalar :func:`~repro.core.cost.cost_report` oracle (compute
+        energy only — programming happens once at deployment), so every
+        probe of every sweep reads energy off precomputed constants yet
+        stays bit-identical to a per-point ``cost_report`` replay.
 
         >>> from repro.api import default_engine
         >>> from repro.core import PIMArray
@@ -209,6 +270,13 @@ class ChipLattice:
         repeats = np.asarray([s.layer.repeats for s in solutions],
                              dtype=np.int64)
         step = tiles * repeats
+        cells = np.asarray([s.array.cells for s in solutions],
+                           dtype=np.int64)
+        stage_energy = None
+        if cost_params is not None:
+            stage_energy = np.asarray(
+                [cost_report(s, cost_params).compute_energy_nj
+                 for s in solutions], dtype=np.float64)
 
         latencies: List[int] = []
         stages: List[int] = []
@@ -233,24 +301,31 @@ class ChipLattice:
         count_v, k_v = count_v[order], k_v[order]
         cum = np.cumsum(cost_v * count_v)
         # Instances are shared via the engine memo: freeze every vector.
-        for vec in (n_pw, tiles, repeats, step,
-                    stage_v, cost_v, count_v, k_v, cum):
+        vectors = [n_pw, tiles, repeats, step, cells,
+                   stage_v, cost_v, count_v, k_v, cum]
+        if stage_energy is not None:
+            vectors.append(stage_energy)
+        for vec in vectors:
             vec.setflags(write=False)
         return cls(solutions=solutions, n_pw=n_pw, tiles=tiles,
                    repeats=repeats, step=step, group_stage=stage_v,
                    group_cost=cost_v, group_count=count_v, group_k=k_v,
-                   group_cum=cum)
+                   group_cum=cum, cells=cells, cost_params=cost_params,
+                   stage_energy_nj=stage_energy)
 
     @classmethod
     def for_network(cls, network, array, scheme: str = "vw-sdk", *,
-                    engine=None) -> "ChipLattice":
+                    engine=None,
+                    cost_params: Optional[CostParams] = None
+                    ) -> "ChipLattice":
         """Build from a network by solving each layer through *engine*
         (the shared :func:`repro.api.default_engine` by default)."""
         if engine is None:
             from ..api.engine import default_engine
             engine = default_engine()
         return cls.for_solutions(
-            [engine.solve(layer, array, scheme) for layer in network])
+            [engine.solve(layer, array, scheme) for layer in network],
+            cost_params=cost_params)
 
     # ------------------------------------------------------------------
     # Shape
@@ -269,6 +344,22 @@ class ChipLattice:
     def floor_arrays(self) -> int:
         """Residency minimum — the smallest feasible chip."""
         return int(self.step.sum())
+
+    @property
+    def total_energy_nj(self) -> Optional[float]:
+        """Per-inference compute energy of the whole pipeline.
+
+        Correctly-rounded (``math.fsum``) sum of the per-*repeat*
+        scalar ``cost_report`` figures (a block with ``repeats=r``
+        contributes its exact per-repeat energy ``r`` times), so the
+        total is invariant to stage order and to whether repeated
+        blocks are grouped (``repeats=r``) or unrolled into ``r``
+        stages.  ``None`` for an uncosted lattice.
+        """
+        if self.stage_energy_nj is None:
+            return None
+        return math.fsum(
+            np.repeat(self.stage_energy_nj, self.repeats).tolist())
 
     # ------------------------------------------------------------------
     # Vectorized replay (probe grids)
@@ -315,14 +406,25 @@ class ChipLattice:
         latency = -(-self.n_pw[None, :] // replicas)
         feasible = counts >= self.floor_arrays
         spent = ((replicas - 1) * self.step[None, :]).sum(axis=1)
+        bottleneck = np.where(feasible, latency.max(axis=1), INFEASIBLE)
+        cells = (replicas * (self.step * self.cells)[None, :]).sum(axis=1)
+        energy_v = latency_v = None
+        if self.cost_params is not None:
+            energy_v = np.where(feasible, self.total_energy_nj, np.nan)
+            period = self.cost_params.cycle_time_ns
+            latency_v = np.where(
+                feasible, bottleneck.astype(np.float64) * period / 1000.0,
+                np.nan)
         return ChipSweep(
             num_arrays=counts,
             feasible=feasible,
-            bottleneck_cycles=np.where(feasible, latency.max(axis=1),
-                                       INFEASIBLE),
+            bottleneck_cycles=bottleneck,
             fill_latency_cycles=np.where(feasible, latency.sum(axis=1),
                                          INFEASIBLE),
             arrays_used=np.where(feasible, self.floor_arrays + spent, 0),
+            cells_used=np.where(feasible, cells, 0),
+            energy_nj=energy_v,
+            latency_us=latency_v,
         )
 
     # ------------------------------------------------------------------
@@ -436,16 +538,76 @@ class ChipLattice:
         steps = self.step.tolist()
         latencies = [ceil_div(p, r) for p, r in zip(positions, replicas)]
         spent = sum((r - 1) * s for r, s in zip(replicas, steps))
+        bottleneck = max(latencies)
+        cells = sum(r * s * c for r, s, c in
+                    zip(replicas, steps, self.cells.tolist()))
+        energy = latency_us = None
+        if self.cost_params is not None:
+            energy = self.total_energy_nj
+            latency_us = bottleneck * self.cost_params.cycle_time_ns / 1000.0
         return ChipOutcome(
             num_arrays=num_arrays,
-            bottleneck_cycles=max(latencies),
+            bottleneck_cycles=bottleneck,
             fill_latency_cycles=sum(latencies),
-            arrays_used=self.floor_arrays + spent)
+            arrays_used=self.floor_arrays + spent,
+            cells_used=cells,
+            energy_nj=energy,
+            latency_us=latency_us)
 
     def bottleneck_at(self, num_arrays: int) -> Optional[int]:
         """Steady-state bottleneck for one count (``None``: infeasible)."""
         point = self.outcome(num_arrays)
         return None if point is None else point.bottleneck_cycles
+
+    # ------------------------------------------------------------------
+    # Frontier budgets (chip_pareto support)
+    # ------------------------------------------------------------------
+    def frontier_latencies(self) -> np.ndarray:
+        """Every per-stage latency value any budget can realise, sorted.
+
+        The union over stages of ``ceil(n_pw / k)`` for ``k = 1..n_pw``
+        (the staircase levels plus the fully-replicated latency 1) —
+        ``O(stages x sqrt(n_pw))`` values.  Every achievable pipeline
+        bottleneck is one of these, since the bottleneck is a maximum
+        of per-stage staircase levels.
+        """
+        values = {1}
+        for positions in self.n_pw.tolist():
+            for latency, _, _ in _stage_staircase(positions):
+                values.add(latency)
+        return np.asarray(sorted(values), dtype=np.int64)
+
+    def frontier_counts(self, max_arrays: Optional[int] = None
+                        ) -> np.ndarray:
+        """The canonical budget grid behind the chip Pareto frontier.
+
+        For each candidate bottleneck target ``L`` the *minimal* budget
+        reaching it is closed-form: stage ``s`` needs ``ceil(n_pw_s/L)``
+        replicas, so ``B(L) = sum_s ceil(n_pw_s/L) * step_s``.  At
+        exactly ``B(L)`` the greedy performs precisely those upgrades
+        (every merged group above ``L`` is earlier in consideration
+        order and the budget covers them exactly), so sweeping these
+        budgets visits every non-dominated ``(arrays, cells,
+        bottleneck)`` point any budget could produce — independent of
+        stage order or repeat grouping.  Returned sorted ascending,
+        deduplicated, capped at *max_arrays* when given (possibly
+        empty, when even the residency floor exceeds it).
+
+        >>> from repro.core import PIMArray
+        >>> from repro.networks import resnet18
+        >>> lat = ChipLattice.for_network(resnet18(), PIMArray.square(512))
+        >>> counts = lat.frontier_counts()
+        >>> int(counts[0]) == lat.floor_arrays
+        True
+        >>> int(lat.sweep(counts).bottleneck_cycles[-1])
+        1
+        """
+        levels = self.frontier_latencies()
+        needed = -(-self.n_pw[None, :] // levels[:, None])
+        budgets = np.unique((needed * self.step[None, :]).sum(axis=1))
+        if max_arrays is not None:
+            budgets = budgets[budgets <= max_arrays]
+        return budgets
 
 
 def chip_lattice(solutions: Sequence[MappingSolution]) -> ChipLattice:

@@ -28,8 +28,10 @@ chip
     Multi-array deployment.  ``chip plan`` allocates one chip with the
     greedy min-max pipeline planner; ``chip sweep`` replays the shared
     :class:`~repro.chip.sweep.ChipLattice` over a whole grid of array
-    counts.  (Legacy ``chip NETWORK ...`` is rewritten to
-    ``chip plan NETWORK ...``.)
+    counts; ``chip pareto`` prints the cells/energy/latency deployment
+    frontier (``--pools`` adds the heterogeneous best-fit plan,
+    ``--cost-params FILE`` overrides the energy model).  (Legacy
+    ``chip NETWORK ...`` is rewritten to ``chip plan NETWORK ...``.)
 """
 
 from __future__ import annotations
@@ -137,6 +139,28 @@ def build_parser() -> argparse.ArgumentParser:
                               "floor in 32 steps)")
     p_sweep.add_argument("--scheme", default="vw-sdk",
                          choices=sorted(SCHEMES))
+    p_pareto = chip_sub.add_parser(
+        "pareto", help="cells/energy/latency chip deployment frontier")
+    p_pareto.add_argument("name", help="zoo network, e.g. resnet18")
+    p_pareto.add_argument("--scheme", default="vw-sdk",
+                          choices=sorted(SCHEMES))
+    p_pareto.add_argument("--pools", action="store_true",
+                          help="also consider the heterogeneous "
+                               "best-fit pool plan (mixed geometries)")
+    p_pareto.add_argument("--cost-params", metavar="FILE", default=None,
+                          help="JSON file of CostParams overrides "
+                               "(see repro.core.cost)")
+    p_pareto.add_argument("--max-cells", type=int, default=512 * 512,
+                          help="total-cells budget per candidate "
+                               "geometry (default 512*512)")
+    p_pareto.add_argument("--sides", default=None,
+                          help="comma-separated side lengths overriding "
+                               "the default square ladder")
+    p_pareto.add_argument("--max-arrays", type=int, default=None,
+                          help="cap the probed chip array counts")
+    p_pareto.add_argument("--target-bottleneck", type=int, default=None,
+                          help="keep only plans meeting this "
+                               "steady-state cycle target")
     return parser
 
 
@@ -275,6 +299,8 @@ def _cmd_dse(args: argparse.Namespace) -> int:
 def _cmd_chip(args: argparse.Namespace) -> int:
     if args.chip_command == "sweep":
         return _cmd_chip_sweep(args)
+    if args.chip_command == "pareto":
+        return _cmd_chip_pareto(args)
     from .chip import ChipConfig, plan_pipeline
     network = get_network(args.name)
     chip = ChipConfig(PIMArray.parse(args.array), args.arrays)
@@ -310,6 +336,62 @@ def _cmd_chip_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_cost_params(path: Optional[str]):
+    """``--cost-params FILE`` -> validated CostParams (or ``None``)."""
+    from .core import ConfigurationError, CostParams
+    if path is None:
+        return None
+    import json
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+        return CostParams.from_dict(payload)
+    except (OSError, json.JSONDecodeError, ConfigurationError) as error:
+        raise SystemExit(f"--cost-params: {error}") from None
+
+
+def _cmd_chip_pareto(args: argparse.Namespace) -> int:
+    from .dse import InfeasibleTargetError, chip_pareto
+    network = get_network(args.name)
+    cost_params = _load_cost_params(args.cost_params)
+    try:
+        sides = ([int(s) for s in args.sides.split(",") if s.strip()]
+                 if args.sides else None)
+        if sides is not None and (not sides or min(sides) < 1):
+            raise ValueError("sides must be positive integers")
+        if args.max_cells < 1:
+            raise ValueError(f"--max-cells must be >= 1, "
+                             f"got {args.max_cells}")
+    except ValueError as error:
+        raise SystemExit(f"chip pareto: {error}") from None
+    from .core import ConfigurationError
+    try:
+        front = chip_pareto(network, scheme=args.scheme, pools=args.pools,
+                            cost_params=cost_params,
+                            max_cells=args.max_cells, sides=sides,
+                            max_arrays=args.max_arrays,
+                            target_bottleneck=args.target_bottleneck)
+    except (InfeasibleTargetError, ConfigurationError) as error:
+        # ConfigurationError covers e.g. --sides entries that all
+        # exceed --max-cells (an empty candidate pool).
+        raise SystemExit(f"chip pareto: {error}") from None
+    rows = [{"pool": p.pool, "arrays": p.num_arrays, "cells": p.cells,
+             "energy (nJ)": round(p.energy_nj, 3),
+             "bottleneck": p.bottleneck_cycles,
+             "latency (us)": round(p.latency_us, 2)}
+            for p in front]
+    mode = "heterogeneous pools" if args.pools else "homogeneous"
+    print(format_table(
+        rows, title=f"{network.name} chip cells/energy/latency frontier "
+                    f"({args.scheme}, {mode})"))
+    mixed = sum(1 for p in front if p.pool == "mixed")
+    print(f"{len(front)} non-dominated deployments"
+          + (f" ({mixed} from the mixed pool plan)" if args.pools else "")
+          + "; energy is per-inference compute energy (Section II: "
+            "conversions dominate)")
+    return 0
+
+
 _COMMANDS = {
     "map": _cmd_map,
     "network": _cmd_network,
@@ -320,7 +402,7 @@ _COMMANDS = {
 }
 
 #: ``chip`` grew subcommands; bare ``chip NETWORK ...`` still works.
-_CHIP_SUBCOMMANDS = ("plan", "sweep")
+_CHIP_SUBCOMMANDS = ("plan", "sweep", "pareto")
 
 
 def _normalize_argv(argv: List[str]) -> List[str]:

@@ -16,10 +16,11 @@ conversion energy dominates.  All parameters are overridable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict
+from dataclasses import dataclass, fields
+from typing import Dict, Mapping
 
 from ..search.result import MappingSolution
+from .types import ConfigurationError
 from .utilization import UtilizationReport, utilization_report
 
 __all__ = ["CostParams", "CostReport", "cost_report", "DEFAULT_COST_PARAMS"]
@@ -62,11 +63,64 @@ class CostParams:
     include_writes: bool = False
     idle_column_conversion: bool = True
 
+    #: Fields carrying per-component numbers (validated non-negative).
+    _NUMERIC_FIELDS = ("cycle_time_ns", "adc_energy_pj", "dac_energy_pj",
+                       "cell_energy_pj", "write_energy_pj")
+    #: Model toggles (validated boolean in :meth:`from_dict`).
+    _FLAG_FIELDS = ("include_writes", "idle_column_conversion")
+
     def __post_init__(self) -> None:
-        for attr in ("cycle_time_ns", "adc_energy_pj", "dac_energy_pj",
-                     "cell_energy_pj", "write_energy_pj"):
-            if getattr(self, attr) < 0:
-                raise ValueError(f"{attr} must be non-negative")
+        for attr in self._NUMERIC_FIELDS:
+            value = getattr(self, attr)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ConfigurationError(
+                    f"CostParams.{attr} must be a number, got {value!r}")
+            if value < 0:
+                raise ConfigurationError(f"{attr} must be non-negative")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready mapping of every field (``from_dict`` inverse).
+
+        >>> CostParams.from_dict(CostParams().to_dict()) == CostParams()
+        True
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "CostParams":
+        """Build params from a JSON-style mapping, validating strictly.
+
+        Unknown keys, non-numeric energies/periods, non-boolean flags
+        and negative values all raise
+        :class:`~repro.core.types.ConfigurationError` — this is the
+        path the CLI's ``--cost-params FILE`` and service configs come
+        through, so mistakes must fail loudly, not default silently.
+        Missing keys keep their defaults.
+
+        >>> CostParams.from_dict({"adc_energy_pj": 1.5}).adc_energy_pj
+        1.5
+        >>> CostParams.from_dict({"adc_energy_pj": -1})
+        Traceback (most recent call last):
+            ...
+        repro.core.types.ConfigurationError: adc_energy_pj must be \
+non-negative
+        """
+        if not isinstance(payload, Mapping):
+            raise ConfigurationError(
+                f"CostParams.from_dict needs a mapping, got "
+                f"{type(payload).__name__}")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown CostParams key(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})")
+        for flag in cls._FLAG_FIELDS:
+            if flag in payload and not isinstance(payload[flag], bool):
+                raise ConfigurationError(
+                    f"CostParams.{flag} must be a boolean, got "
+                    f"{payload[flag]!r}")
+        return cls(**dict(payload))
 
 
 DEFAULT_COST_PARAMS = CostParams()

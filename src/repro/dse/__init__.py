@@ -12,9 +12,11 @@ re-planning per probe.  Infeasible targets raise the typed
 from .pareto import (
     DEFAULT_SIDES,
     ArrayDesignPoint,
+    ChipDesignPoint,
     ParetoPoint,
     array_candidates,
     array_pareto,
+    chip_pareto,
     pareto_front,
     window_pareto,
 )
@@ -28,11 +30,13 @@ from .requirements import (
 __all__ = [
     "ParetoPoint",
     "ArrayDesignPoint",
+    "ChipDesignPoint",
     "DEFAULT_SIDES",
     "pareto_front",
     "window_pareto",
     "array_pareto",
     "array_candidates",
+    "chip_pareto",
     "InfeasibleTargetError",
     "network_cycles",
     "smallest_square_array",

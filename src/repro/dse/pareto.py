@@ -28,23 +28,38 @@ sides varied independently under a total-cells budget, and
 :func:`array_pareto` generates them itself when no explicit candidate
 list is passed.  The whole non-square frontier still costs one batched
 lattice call — candidate count only widens the vectorized sweep.
+
+:func:`chip_pareto` lifts the frontier to the *chip* level and opens
+the paper's energy axis (Section II: AD conversion dominates PIM
+energy, so fewer cycles mean less energy): candidate deployment plans
+— homogeneous geometries and, with ``pools=True``, the heterogeneous
+best-fit assignment from :mod:`repro.chip.pools` — are each priced by
+one memoized :class:`~repro.chip.sweep.ChipLattice` replayed over its
+closed-form breakpoint budgets, and the 3-D minimising front of
+``(cells, energy, bottleneck)`` is extracted from the union.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar, Union
 
+import numpy as np
+
 from ..api.engine import MappingEngine, default_engine
+from ..chip.pools import PoolPlan, pool_plans
 from ..core.array import PIMArray
+from ..core.cost import DEFAULT_COST_PARAMS, CostParams
 from ..core.layer import ConvLayer
+from ..core.types import ConfigurationError
 from ..core.utilization import utilization_report
 from ..networks.layerset import Network
 from ..search import CandidateSpace, enumerate_feasible
+from ..search.result import MappingSolution
 
-__all__ = ["ParetoPoint", "ArrayDesignPoint", "pareto_front",
-           "window_pareto", "array_pareto", "array_candidates",
-           "DEFAULT_SIDES"]
+__all__ = ["ParetoPoint", "ArrayDesignPoint", "ChipDesignPoint",
+           "pareto_front", "window_pareto", "array_pareto",
+           "array_candidates", "chip_pareto", "DEFAULT_SIDES"]
 
 #: Default side-length ladder for :func:`array_candidates`: powers of
 #: two from 32 to 1024 interleaved with their 1.5x midpoints — fine
@@ -174,6 +189,167 @@ def array_pareto(network: Network,
             continue  # dominated by a smaller array
         front.append(ArrayDesignPoint(array=candidates[k], cycles=cycles))
         best_cycles, last_cells = cycles, cells
+    return front
+
+
+@dataclass(frozen=True)
+class ChipDesignPoint:
+    """One chip deployment on the cells / energy / latency frontier.
+
+    ``pool`` is the plan label (a geometry string for homogeneous
+    plans, ``"mixed"`` for a heterogeneous best-fit assignment);
+    ``cells`` the silicon proxy (crossbar cells consumed, per-stage
+    geometries honoured); ``energy_nj`` the per-inference compute
+    energy (the Section-II conversion-dominated model of
+    :mod:`repro.core.cost`); ``bottleneck_cycles`` / ``latency_us`` the
+    steady-state pipeline bottleneck.  ``solutions`` carries the
+    per-stage mappings so any point can be replayed through the scalar
+    ``plan_pipeline`` + ``cost_report`` oracles (the property tests
+    do exactly that).
+    """
+
+    pool: str
+    num_arrays: int
+    cells: int
+    energy_nj: float
+    bottleneck_cycles: int
+    latency_us: float
+    solutions: Tuple[MappingSolution, ...] = field(
+        default=(), repr=False, compare=False)
+
+    @property
+    def objectives(self) -> Tuple[int, float, int]:
+        """The minimised triple ``(cells, energy_nj, bottleneck)``."""
+        return (self.cells, self.energy_nj, self.bottleneck_cycles)
+
+
+def _non_dominated(values: np.ndarray) -> np.ndarray:
+    """Boolean keep-mask of the minimising Pareto front of *values*
+    (``(N, M)`` objective rows).  Vectorized pairwise dominance —
+    fine for the few thousand points chip frontiers produce."""
+    less_eq = (values[:, None, :] <= values[None, :, :]).all(axis=2)
+    less = (values[:, None, :] < values[None, :, :]).any(axis=2)
+    return ~(less_eq & less).any(axis=0)
+
+
+def chip_pareto(network: Network,
+                geometries: Optional[Sequence[PIMArray]] = None,
+                scheme: str = "vw-sdk", *,
+                pools: bool = False,
+                cost_params: Optional[CostParams] = None,
+                max_cells: int = 512 * 512,
+                sides: Optional[Sequence[int]] = None,
+                max_arrays: Optional[int] = None,
+                target_bottleneck: Optional[int] = None,
+                engine: Optional[MappingEngine] = None
+                ) -> List[ChipDesignPoint]:
+    """Cells / energy / latency frontier of chip deployments.
+
+    Couples the batched chip planner with the cost model: every
+    candidate plan (one homogeneous plan per usable geometry, plus the
+    heterogeneous best-fit plan when ``pools=True``) is priced by one
+    memoized :class:`~repro.chip.sweep.ChipLattice` replayed over its
+    closed-form breakpoint budgets
+    (:meth:`~repro.chip.sweep.ChipLattice.frontier_counts`), and the
+    3-D minimising front of ``(cells, energy_nj, bottleneck_cycles)``
+    is extracted from the union.  Since the union always contains the
+    homogeneous plans, the ``pools=True`` frontier dominates-or-equals
+    the homogeneous one point for point.
+
+    When *geometries* is ``None`` the square ladder under *max_cells*
+    is used (:func:`array_candidates` with ``square_only=True``); pass
+    an explicit list — e.g. ``array_candidates(budget)`` — to open the
+    non-square axis.  *max_arrays* bounds the probed budgets and
+    *target_bottleneck* keeps only points meeting a latency target;
+    when no candidate point survives either bound, the typed
+    :class:`~repro.dse.requirements.InfeasibleTargetError` is raised
+    with the best achievable bottleneck attached (``None`` when even
+    the residency floors exceed *max_arrays*).
+
+    Points come back sorted by cells ascending, bottleneck descending —
+    along a (homogeneous) frontier every extra cell buys strictly
+    fewer bottleneck cycles or strictly less energy.
+
+    >>> from repro.core import PIMArray
+    >>> from repro.networks import resnet18
+    >>> front = chip_pareto(resnet18(),
+    ...                     [PIMArray.square(s) for s in (256, 512)])
+    >>> front[0].pool, front[0].num_arrays, front[0].bottleneck_cycles
+    ('256x256', 57, 2809)
+    >>> front[-1].bottleneck_cycles
+    1
+    """
+    from .requirements import InfeasibleTargetError
+    if target_bottleneck is not None and target_bottleneck < 1:
+        raise ConfigurationError("target_bottleneck must be >= 1")
+    if max_arrays is not None and max_arrays < 1:
+        raise ConfigurationError("max_arrays must be >= 1")
+    eng = engine if engine is not None else default_engine()
+    params = cost_params if cost_params is not None else DEFAULT_COST_PARAMS
+    if geometries is None:
+        geometries = array_candidates(max_cells, sides=sides,
+                                      square_only=True)
+        if not geometries:
+            raise ConfigurationError(
+                f"no candidate geometry fits max_cells={max_cells}"
+                + (f" with sides={tuple(sides)}" if sides else "")
+                + "; raise the budget or shrink the sides")
+    layers = tuple(network)
+    plans = pool_plans(layers, geometries, scheme, include_mixed=pools,
+                       engine=eng, cost_params=params)
+    label = getattr(network, "name", None) or "network"
+
+    points: List[ChipDesignPoint] = []
+    best_bottleneck: Optional[int] = None
+    for plan in plans:
+        lattice = eng.chip_lattice(layers, plan.arrays, scheme,
+                                   cost_params=params)
+        counts = lattice.frontier_counts(max_arrays)
+        if counts.size == 0:
+            continue  # even the residency floor exceeds max_arrays
+        sweep = lattice.sweep(counts)
+        previous = None
+        for index in range(len(sweep)):
+            point = sweep.outcome(index)
+            if best_bottleneck is None or \
+                    point.bottleneck_cycles < best_bottleneck:
+                best_bottleneck = point.bottleneck_cycles
+            if point.bottleneck_cycles == previous:
+                continue  # same bottleneck at a bigger budget: dominated
+            previous = point.bottleneck_cycles
+            if target_bottleneck is not None and \
+                    point.bottleneck_cycles > target_bottleneck:
+                continue
+            points.append(ChipDesignPoint(
+                pool=plan.label,
+                num_arrays=point.num_arrays,
+                cells=point.cells_used,
+                energy_nj=point.energy_nj,
+                bottleneck_cycles=point.bottleneck_cycles,
+                latency_us=point.latency_us,
+                solutions=lattice.solutions))
+    if not points:
+        if best_bottleneck is None:
+            raise InfeasibleTargetError(
+                f"no pool plan of {label} fits within "
+                f"max_arrays={max_arrays} (or no geometry maps every "
+                f"layer with {scheme})", best=None)
+        raise InfeasibleTargetError(
+            f"{label} bottlenecks at {best_bottleneck} cycles within "
+            f"max_arrays={max_arrays}; target {target_bottleneck} is "
+            f"out of reach", best=best_bottleneck)
+
+    values = np.asarray([[p.cells, p.energy_nj, p.bottleneck_cycles]
+                         for p in points], dtype=np.float64)
+    keep = _non_dominated(values)
+    seen = set()
+    front: List[ChipDesignPoint] = []
+    for point, kept in zip(points, keep):
+        if not kept or point.objectives in seen:
+            continue
+        seen.add(point.objectives)
+        front.append(point)
+    front.sort(key=lambda p: (p.cells, -p.bottleneck_cycles, p.energy_nj))
     return front
 
 

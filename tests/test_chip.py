@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import ChipConfig, ConvLayer, PIMArray
+from repro import ChipConfig, ConvLayer, CostParams, PIMArray, cost_report
 from repro.chip import (
     ChipLattice,
     InsufficientArraysError,
@@ -231,3 +231,144 @@ class TestChipLattice:
         # 7 tiles, 72 positions: 14 arrays -> 2 replicas -> 36 cycles.
         assert lat.outcome(14).bottleneck_cycles == 36
         assert lat.outcome(7).bottleneck_cycles == sol.breakdown.n_pw
+
+
+class TestCostedChipLattice:
+    """Energy/area accounting on top of the staircase replay."""
+
+    PARAMS = CostParams(cycle_time_ns=50.0, adc_energy_pj=1.0)
+
+    @pytest.fixture(scope="class")
+    def lattice(self):
+        return ChipLattice.for_network(resnet18(), ARRAY,
+                                       cost_params=self.PARAMS)
+
+    def test_uncosted_lattice_has_no_energy(self):
+        lat = ChipLattice.for_network(resnet18(), ARRAY)
+        assert lat.cost_params is None
+        assert lat.total_energy_nj is None
+        sweep = lat.sweep([64])
+        assert sweep.energy_nj is None and sweep.latency_us is None
+        point = sweep.outcome(0)
+        assert point.energy_nj is None and point.latency_us is None
+        assert point.cells_used > 0      # area accounting is always on
+
+    def test_stage_energy_matches_scalar_cost_report(self, lattice):
+        # Per-repeat terms are stored exactly as the scalar oracle
+        # prices them; the total is their fsum with repeats expanded.
+        import math as _math
+        for sol, energy in zip(lattice.solutions,
+                               lattice.stage_energy_nj.tolist()):
+            report = cost_report(sol, self.PARAMS)
+            assert energy == report.compute_energy_nj
+        assert lattice.total_energy_nj == _math.fsum(
+            cost_report(sol, self.PARAMS).compute_energy_nj
+            for sol in lattice.solutions
+            for _ in range(sol.layer.repeats))
+
+    def test_energy_is_budget_independent(self, lattice):
+        sweep = lattice.sweep([23, 64, 4096])
+        assert sweep.energy_nj[0] == sweep.energy_nj[1] == \
+            sweep.energy_nj[2] == lattice.total_energy_nj
+
+    def test_latency_us_tracks_bottleneck(self, lattice):
+        point = lattice.outcome(64)
+        assert point.latency_us == \
+            point.bottleneck_cycles * self.PARAMS.cycle_time_ns / 1000.0
+        sweep = lattice.sweep([64])
+        assert sweep.outcome(0) == point
+
+    def test_cells_used_is_arrays_times_geometry(self, lattice):
+        # Homogeneous lattice: every array has the same cell count.
+        sweep = lattice.sweep([23, 64, 200])
+        expected = sweep.arrays_used * ARRAY.cells
+        assert (sweep.cells_used == expected).all()
+
+    def test_infeasible_probes_carry_nan_and_zero(self, lattice):
+        sweep = lattice.sweep([lattice.floor_arrays - 1])
+        import math as _math
+        assert _math.isnan(float(sweep.energy_nj[0]))
+        assert _math.isnan(float(sweep.latency_us[0]))
+        assert int(sweep.cells_used[0]) == 0
+        assert sweep.rows()[0]["energy (nJ)"] == "-"
+
+    def test_frontier_counts_start_at_floor_and_reach_one(self, lattice):
+        counts = lattice.frontier_counts()
+        assert int(counts[0]) == lattice.floor_arrays
+        sweep = lattice.sweep(counts)
+        assert bool(sweep.feasible.all())
+        assert int(sweep.bottleneck_cycles[-1]) == 1
+        # Every breakpoint budget is spent exactly.
+        assert (sweep.arrays_used == sweep.num_arrays).all()
+
+    def test_frontier_counts_cap(self, lattice):
+        capped = lattice.frontier_counts(max_arrays=100)
+        assert (capped <= 100).all()
+        assert lattice.frontier_counts(max_arrays=1).size == 0
+
+
+class TestEngineChipLattice:
+    """Engine-side memoization of costed / heterogeneous lattices."""
+
+    def test_cost_params_split_the_memo(self):
+        from repro.api import MappingEngine
+        engine = MappingEngine()
+        plain = engine.chip_lattice(resnet18(), ARRAY)
+        costed = engine.chip_lattice(resnet18(), ARRAY,
+                                     cost_params=CostParams())
+        assert plain is not costed
+        assert plain is engine.chip_lattice(resnet18(), ARRAY)
+        assert costed is engine.chip_lattice(resnet18(), ARRAY,
+                                             cost_params=CostParams())
+
+    def test_per_stage_arrays(self):
+        from repro.api import MappingEngine
+        engine = MappingEngine()
+        net = resnet18()
+        arrays = [ARRAY if i % 2 else PIMArray.square(256)
+                  for i in range(len(net))]
+        lattice = engine.chip_lattice(net, arrays)
+        assert [s.array for s in lattice.solutions] == arrays
+        assert lattice is engine.chip_lattice(net, tuple(arrays))
+
+    def test_per_stage_arrays_length_mismatch(self):
+        from repro.api import MappingEngine
+        from repro.core import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            MappingEngine().chip_lattice(resnet18(), [ARRAY, ARRAY])
+
+
+class TestPools:
+    def test_pool_normalised_and_deduplicated(self):
+        from repro.chip import pool_plans
+        pool = [ARRAY, PIMArray.square(128), ARRAY]
+        plans = pool_plans(resnet18(), pool, include_mixed=False)
+        assert [p.label for p in plans] == ["128x128", "512x512"]
+        assert all(p.homogeneous for p in plans)
+
+    def test_empty_pool_rejected(self):
+        from repro.chip import pool_plans
+        from repro.core import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            pool_plans(resnet18(), [])
+        with pytest.raises(ConfigurationError):
+            pool_plans(resnet18(), ["512x512"])    # not PIMArray
+
+    def test_best_fit_is_deterministic_per_shape(self):
+        from repro.chip import best_fit_arrays
+        pool = [PIMArray.square(128), ARRAY]
+        assignment = best_fit_arrays(resnet18(), pool)
+        assert len(assignment) == len(resnet18())
+        # Identical layer shapes always land on identical geometries.
+        by_shape = {}
+        for layer, geometry in zip(resnet18(), assignment):
+            key = (layer.ifm_h, layer.ifm_w, layer.kernel_h,
+                   layer.kernel_w, layer.in_channels, layer.out_channels)
+            assert by_shape.setdefault(key, geometry) == geometry
+
+    def test_mixed_plan_only_when_it_differs(self):
+        from repro.chip import pool_plans
+        # One-geometry pool: best fit degenerates to the homogeneous
+        # plan, so no mixed plan is emitted.
+        plans = pool_plans(resnet18(), [ARRAY], include_mixed=True)
+        assert [p.label for p in plans] == ["512x512"]

@@ -1,0 +1,89 @@
+"""Golden regression tests: Table-I networks' chip frontiers, pinned.
+
+The homogeneous chip cells/energy/latency frontiers of the paper's two
+Table-I networks (VGG-13, ResNet-18) over the square geometry ladder
+``{128, 256, 512}`` are committed as JSON fixtures.  Any drift in the
+mapping search, the staircase replay, the breakpoint budgets or the
+cost model changes these numbers — and fails *loudly* here instead of
+surfacing as a silent benchmark delta.
+
+All quantities are deterministic (integer staircase math; IEEE-exact
+``math.fsum`` energy), so the comparison is exact, floats included.
+
+Regenerate after an *intentional* frontier change with::
+
+    PYTHONPATH=src python tests/test_chip_pareto_golden.py
+
+and commit the diff (review it — that diff *is* the behaviour change).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import PIMArray
+from repro.dse import chip_pareto
+from repro.networks import get_network
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: Square ladder the pinned frontiers sweep.
+SIDES = (128, 256, 512)
+
+#: Table-I networks (the paper's evaluation set).
+NETWORKS = ("vgg13", "resnet18")
+
+
+def frontier_payload(name: str):
+    """The network's homogeneous frontier as JSON-ready rows."""
+    front = chip_pareto(get_network(name),
+                        [PIMArray.square(side) for side in SIDES])
+    return [{"pool": p.pool,
+             "num_arrays": p.num_arrays,
+             "cells": p.cells,
+             "energy_nj": p.energy_nj,
+             "bottleneck_cycles": p.bottleneck_cycles,
+             "latency_us": p.latency_us} for p in front]
+
+
+def _fixture_path(name: str) -> Path:
+    return FIXTURES / f"chip_pareto_{name}.json"
+
+
+@pytest.mark.parametrize("name", NETWORKS)
+def test_frontier_matches_committed_fixture(name):
+    expected = json.loads(_fixture_path(name).read_text())
+    assert frontier_payload(name) == expected
+
+
+@pytest.mark.parametrize("name", NETWORKS)
+def test_fixture_is_sane(name):
+    """The committed fixture itself is a frontier: sorted by cells,
+    no point dominated by another (guards hand-edited fixtures)."""
+    points = json.loads(_fixture_path(name).read_text())
+    assert points, "fixture must not be empty"
+    cells = [p["cells"] for p in points]
+    assert cells == sorted(cells)
+    for p in points:
+        dominating = [q for q in points if q is not p
+                      and q["cells"] <= p["cells"]
+                      and q["energy_nj"] <= p["energy_nj"]
+                      and q["bottleneck_cycles"] <= p["bottleneck_cycles"]]
+        assert not dominating, f"fixture point {p} is dominated"
+
+
+def main() -> int:
+    """Regenerate every committed fixture (intentional changes only)."""
+    FIXTURES.mkdir(exist_ok=True)
+    for name in NETWORKS:
+        path = _fixture_path(name)
+        payload = frontier_payload(name)
+        rows = ",\n".join(json.dumps(point) for point in payload)
+        path.write_text("[\n" + rows + "\n]\n")
+        print(f"wrote {path} ({len(payload)} frontier points)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -115,6 +115,57 @@ class TestChipCommand:
                 main(["chip", "sweep", "resnet18", "--counts", spec])
 
 
+class TestChipParetoCommand:
+    def test_homogeneous_frontier(self, capsys):
+        assert main(["chip", "pareto", "resnet18",
+                     "--sides", "128,256"]) == 0
+        out = capsys.readouterr().out
+        assert "cells/energy/latency frontier" in out
+        assert "non-dominated deployments" in out
+        assert "128x128" in out
+
+    def test_pools_flag_adds_mixed_plan(self, capsys):
+        assert main(["chip", "pareto", "resnet18", "--pools",
+                     "--sides", "128,256,512"]) == 0
+        out = capsys.readouterr().out
+        assert "heterogeneous pools" in out
+        assert "mixed" in out
+
+    def test_cost_params_file(self, capsys, tmp_path):
+        config = tmp_path / "cost.json"
+        config.write_text('{"cycle_time_ns": 10.0, "adc_energy_pj": 0.5}')
+        assert main(["chip", "pareto", "resnet18", "--sides", "256",
+                     "--cost-params", str(config)]) == 0
+        out = capsys.readouterr().out
+        assert "energy (nJ)" in out
+
+    def test_bad_cost_params_exit_cleanly(self, tmp_path):
+        bad_key = tmp_path / "bad.json"
+        bad_key.write_text('{"adc_energy": 1.0}')
+        bad_json = tmp_path / "mangled.json"
+        bad_json.write_text("{not json")
+        for path in (bad_key, bad_json, tmp_path / "missing.json"):
+            with pytest.raises(SystemExit):
+                main(["chip", "pareto", "resnet18", "--sides", "256",
+                      "--cost-params", str(path)])
+
+    def test_infeasible_bounds_exit_cleanly(self):
+        with pytest.raises(SystemExit):
+            main(["chip", "pareto", "resnet18", "--sides", "512",
+                  "--max-arrays", "4"])
+
+    def test_bad_sides_exit_cleanly(self):
+        for argv in (["--sides", "64,abc"], ["--sides", "0,64"],
+                     ["--max-cells", "0"]):
+            with pytest.raises(SystemExit):
+                main(["chip", "pareto", "resnet18"] + argv)
+
+    def test_sides_exceeding_budget_exit_cleanly(self, capsys):
+        # Every candidate over --max-cells: empty pool, clean exit.
+        with pytest.raises(SystemExit, match="max_cells"):
+            main(["chip", "pareto", "resnet18", "--sides", "1024"])
+
+
 class TestDseCommand:
     def test_square_frontier(self, capsys):
         assert main(["dse", "sweep", "resnet18",

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro import ConvLayer, CostParams, PIMArray, cost_report
+from repro import ConfigurationError, ConvLayer, CostParams, PIMArray, \
+    cost_report
 from repro.search import im2col_solution, solve
 
 
@@ -16,9 +17,58 @@ class TestCostParams:
         with pytest.raises(ValueError):
             CostParams(adc_energy_pj=-1.0)
 
+    def test_negative_raises_configuration_error(self):
+        # The CLI/engine JSON path needs the typed error, and it must
+        # stay a ValueError for pre-existing callers.
+        with pytest.raises(ConfigurationError):
+            CostParams(dac_energy_pj=-0.1)
+        assert issubclass(ConfigurationError, ValueError)
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CostParams(cycle_time_ns="fast")
+        with pytest.raises(ConfigurationError):
+            CostParams(adc_energy_pj=True)
+
     def test_custom_values(self):
         params = CostParams(cycle_time_ns=50.0, adc_energy_pj=1.0)
         assert params.cycle_time_ns == 50.0
+
+
+class TestCostParamsDictRoundTrip:
+    def test_round_trip_identity(self):
+        params = CostParams(cycle_time_ns=42.0, adc_energy_pj=3.5,
+                            include_writes=True,
+                            idle_column_conversion=False)
+        assert CostParams.from_dict(params.to_dict()) == params
+
+    def test_to_dict_carries_every_field(self):
+        payload = CostParams().to_dict()
+        assert set(payload) == {
+            "cycle_time_ns", "adc_energy_pj", "dac_energy_pj",
+            "cell_energy_pj", "write_energy_pj", "include_writes",
+            "idle_column_conversion"}
+
+    def test_partial_dict_keeps_defaults(self):
+        params = CostParams.from_dict({"adc_energy_pj": 1.25})
+        assert params.adc_energy_pj == 1.25
+        assert params.cycle_time_ns == CostParams().cycle_time_ns
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            CostParams.from_dict({"adc_energy": 1.0})
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CostParams.from_dict({"write_energy_pj": -5.0})
+
+    def test_non_boolean_flag_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CostParams.from_dict({"include_writes": 1})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CostParams.from_dict([("adc_energy_pj", 1.0)])
 
 
 class TestCostReport:
