@@ -1,0 +1,49 @@
+"""repro.analysis — AST-based invariant linter for this codebase.
+
+The engine stack lives and dies by two contracts that ordinary tests
+cannot fully pin down:
+
+* **caching** — every memo key covers every solution-affecting field
+  (the cache inventory in ``docs/architecture.md`` is the ledger);
+* **immutability** — cache-resident objects are frozen dataclasses and
+  their NumPy arrays are ``writeable=False``.
+
+This package machine-checks both (plus the dtype, float-equality and
+paper-citation disciplines that guard the eq. 1-8 cycle model) with a
+pluggable rule registry mirroring :mod:`repro.api.registry`.  Run it
+from the repo root with zero flags::
+
+    python -m repro.analysis
+
+See ``docs/static-analysis.md`` for the rule catalogue, the
+``# repro: noqa[RULE]`` suppression syntax, and how to write a rule.
+"""
+
+from __future__ import annotations
+
+from .base import ModuleUnit, Violation, parse_module
+from .engine import (AnalysisReport, Analyzer, collect_files, load_config,
+                     main)
+from .registry import (DEFAULT_RULES, DuplicateRuleError, Rule,
+                       RuleRegistry, UnknownRuleError, register_rule)
+from . import rules  # noqa: F401  (registers the built-in rules)
+from .project import PaperAnchors, ProjectContext
+
+__all__ = [
+    "AnalysisReport",
+    "Analyzer",
+    "DEFAULT_RULES",
+    "DuplicateRuleError",
+    "ModuleUnit",
+    "PaperAnchors",
+    "ProjectContext",
+    "Rule",
+    "RuleRegistry",
+    "UnknownRuleError",
+    "Violation",
+    "collect_files",
+    "load_config",
+    "main",
+    "parse_module",
+    "register_rule",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — run the invariant linter."""
+
+from __future__ import annotations
+
+from .engine import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,144 @@
+"""Shared vocabulary of the invariant linter: violations and modules.
+
+A :class:`Violation` is one finding of one rule at one source location;
+a :class:`ModuleUnit` is one parsed Python file plus the per-line
+suppression table.  Rules receive ``(module, project)`` pairs and yield
+violations — see :mod:`repro.analysis.registry` for the rule protocol
+and :mod:`repro.analysis.engine` for the driver.
+
+Suppression syntax (checked per physical line)::
+
+    lattice.cycles[0] = 1   # repro: noqa[REP003]
+    anything_goes_here()    # repro: noqa
+
+A bare ``noqa`` silences every rule on that line; the bracketed form
+names one or more rule ids or rule names, comma-separated.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Optional, Tuple
+
+__all__ = ["Violation", "ModuleUnit", "parse_module"]
+
+#: ``# repro: noqa`` / ``# repro: noqa[REP003, frozen-request]``.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([^\]]*)\])?")
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule finding at one source location.
+
+    Ordered by location first so reports read file-by-file, top to
+    bottom, regardless of which rule fired.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    rule_name: str = field(compare=False)
+    message: str = field(compare=False)
+
+    def render(self) -> str:
+        """The one-line report form ``path:line:col: ID[name] message``."""
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule_id}[{self.rule_name}] {self.message}")
+
+
+@dataclass(frozen=True)
+class ModuleUnit:
+    """One parsed source file, ready for rule checks.
+
+    ``rel`` is the POSIX-style path relative to the project root — the
+    identity rules match module-scoped options against and the path
+    violations report.
+    """
+
+    path: Path
+    rel: str
+    source: str
+    tree: ast.Module
+    #: line -> ``None`` (suppress every rule) or the named rule
+    #: ids/names (upper-cased for ids, as-written for names).
+    noqa: Dict[int, Optional[FrozenSet[str]]]
+
+    @property
+    def is_test(self) -> bool:
+        """Whether the module lives in the test tree (rules may exempt
+        tests — e.g. the float-equality ban allows exact expectations
+        in test fixtures)."""
+        name = Path(self.rel).name
+        return (self.rel.startswith("tests/")
+                or name.startswith("test_")
+                or name == "conftest.py")
+
+    def suppressed(self, violation: Violation) -> bool:
+        """Whether a line-level ``# repro: noqa`` covers *violation*."""
+        if violation.line not in self.noqa:
+            return False
+        names = self.noqa[violation.line]
+        if names is None:
+            return True
+        return (violation.rule_id.upper() in names
+                or violation.rule_name in names)
+
+
+def _noqa_table(source: str) -> Dict[int, Optional[FrozenSet[str]]]:
+    table: Dict[int, Optional[FrozenSet[str]]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(text)
+        if match is None:
+            continue
+        names = match.group(1)
+        if names is None:
+            table[lineno] = None
+        else:
+            tokens = [token.strip() for token in names.split(",")]
+            table[lineno] = frozenset(
+                token.upper() if re.fullmatch(r"[Rr][Ee][Pp]\d+", token)
+                else token
+                for token in tokens if token)
+    return table
+
+
+def parse_module(path: Path, root: Path) -> ModuleUnit:
+    """Parse *path* into a :class:`ModuleUnit` relative to *root*.
+
+    Raises ``SyntaxError`` with the file position on unparsable source
+    — the engine reports that as a violation of its own.
+    """
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    try:
+        rel = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        rel = path.as_posix()
+    return ModuleUnit(path=path, rel=rel, source=source, tree=tree,
+                      noqa=_noqa_table(source))
+
+
+def rel_matches(rel: str, patterns: Tuple[str, ...]) -> bool:
+    """Whether module path *rel* matches any suffix/prefix *pattern*.
+
+    A pattern ending in ``/`` is a directory prefix match anywhere in
+    the path; anything else matches as a path suffix — so
+    ``core/lattice.py`` matches ``src/repro/core/lattice.py`` without
+    callers caring where the package root sits.
+    """
+    for pattern in patterns:
+        if pattern.endswith("/"):
+            if rel.startswith(pattern) or f"/{pattern}" in f"/{rel}":
+                return True
+        elif rel == pattern or rel.endswith(f"/{pattern}"):
+            return True
+    return False
+
+
+def qualify(parts: Tuple[str, ...]) -> str:
+    """Dotted display name for a nested definition site."""
+    return ".".join(parts)

@@ -1,0 +1,262 @@
+"""The analysis driver: collect files, run rules, report violations.
+
+``python -m repro.analysis`` (no flags needed from the repo root):
+
+1. loads ``[tool.repro-analysis]`` from ``pyproject.toml``;
+2. collects ``*.py`` under the configured targets (default:
+   ``src tests benchmarks``), minus the configured excludes (the
+   fixture corpus is excluded by default — it exists to *contain*
+   violations);
+3. phase one: parses every file and builds the
+   :class:`~repro.analysis.project.ProjectContext` (dataclass
+   registry, paper anchors, documented cache-key exclusions);
+4. phase two: every registered rule checks every module; line-level
+   ``# repro: noqa[...]`` suppressions are honoured;
+5. prints one ``path:line:col: ID[name] message`` line per violation
+   and exits non-zero iff anything fired.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (Dict, Iterable, List, Mapping, Optional, Sequence,
+                    Tuple)
+
+from .base import ModuleUnit, Violation, parse_module
+from .project import ProjectContext
+from .registry import DEFAULT_RULES, RuleRegistry, UnknownRuleError
+
+__all__ = ["AnalysisReport", "Analyzer", "load_config", "collect_files",
+           "main"]
+
+DEFAULT_TARGETS: Tuple[str, ...] = ("src", "tests", "benchmarks")
+DEFAULT_EXCLUDE: Tuple[str, ...] = ("tests/analysis_fixtures",)
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "build", "dist"}
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+def _parse_toml_minimal(text: str) -> Dict[str, object]:
+    """A tiny TOML-subset reader for Pythons without :mod:`tomllib`.
+
+    Understands exactly what ``[tool.repro-analysis]`` uses: section
+    headers, string/bool/int scalars and single-line string arrays.
+    Anything fancier should come through :mod:`tomllib` (3.11+).
+    """
+    data: Dict[str, object] = {}
+    section: Dict[str, object] = data
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            section = data
+            for part in line[1:-1].strip().strip('"').split("."):
+                section = section.setdefault(part, {})  # type: ignore[assignment]
+            continue
+        if "=" not in line:
+            continue
+        key, _, value = line.partition("=")
+        key = key.strip().strip('"')
+        value = value.strip()
+        if value.startswith("[") and value.endswith("]"):
+            items = re.findall(r'"((?:[^"\\]|\\.)*)"', value)
+            section[key] = list(items)
+        elif value in ("true", "false"):
+            section[key] = value == "true"
+        elif value.startswith('"') and value.endswith('"'):
+            section[key] = value[1:-1]
+        elif re.fullmatch(r"-?\d+", value):
+            section[key] = int(value)
+    return data
+
+
+def load_config(root: Path) -> Dict[str, object]:
+    """The ``[tool.repro-analysis]`` table of ``root/pyproject.toml``."""
+    path = root / "pyproject.toml"
+    if not path.is_file():
+        return {}
+    text = path.read_text(encoding="utf-8")
+    try:
+        import tomllib
+        data: Mapping[str, object] = tomllib.loads(text)
+    except ModuleNotFoundError:  # Python < 3.11
+        data = _parse_toml_minimal(text)
+    tool = data.get("tool", {})
+    if not isinstance(tool, Mapping):
+        return {}
+    table = tool.get("repro-analysis", {})
+    return dict(table) if isinstance(table, Mapping) else {}
+
+
+# ----------------------------------------------------------------------
+# File collection
+# ----------------------------------------------------------------------
+def _excluded(rel: str, exclude: Sequence[str]) -> bool:
+    for pattern in exclude:
+        clean = pattern.rstrip("/")
+        if rel == clean or rel.startswith(clean + "/"):
+            return True
+    return False
+
+
+def collect_files(root: Path, targets: Sequence[str],
+                  exclude: Sequence[str] = DEFAULT_EXCLUDE) -> List[Path]:
+    """Every ``*.py`` under *targets* (files or directories), sorted,
+    minus excluded subtrees and cache/VCS directories."""
+    found: List[Path] = []
+    for target in targets:
+        path = (root / target) if not Path(target).is_absolute() \
+            else Path(target)
+        if path.is_file() and path.suffix == ".py":
+            found.append(path)
+            continue
+        if not path.is_dir():
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            if any(part in _SKIP_DIRS for part in candidate.parts):
+                continue
+            try:
+                rel = candidate.resolve().relative_to(
+                    root.resolve()).as_posix()
+            except ValueError:
+                rel = candidate.as_posix()
+            if _excluded(rel, exclude):
+                continue
+            found.append(candidate)
+    unique: Dict[Path, None] = {}
+    for path in found:
+        unique.setdefault(path.resolve(), None)
+    return sorted(unique)
+
+
+# ----------------------------------------------------------------------
+# The analyzer
+# ----------------------------------------------------------------------
+@dataclass
+class AnalysisReport:
+    """Outcome of one analysis run."""
+
+    violations: List[Violation] = field(default_factory=list)
+    #: Unparsable files, as pre-rendered report lines.
+    errors: List[str] = field(default_factory=list)
+    checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run is clean (no violations, no parse errors)."""
+        return not self.violations and not self.errors
+
+
+class Analyzer:
+    """Two-phase driver binding config, registry and project context."""
+
+    def __init__(self, root: Path,
+                 config: Optional[Mapping[str, object]] = None,
+                 registry: RuleRegistry = DEFAULT_RULES,
+                 disable: Sequence[str] = ()) -> None:
+        self.root = root
+        self.config: Dict[str, object] = dict(
+            load_config(root) if config is None else config)
+        self.registry = registry
+        configured = self.config.get("disable", [])
+        disable_all = tuple(disable) + tuple(
+            str(item) for item in configured
+            if isinstance(configured, list))
+        self.rules = registry.rules(disable=disable_all)
+
+    def run(self, paths: Iterable[Path]) -> AnalysisReport:
+        """Check *paths* (pre-collected files) and report."""
+        report = AnalysisReport()
+        modules: List[ModuleUnit] = []
+        for path in paths:
+            try:
+                modules.append(parse_module(path, self.root))
+            except SyntaxError as exc:
+                report.errors.append(
+                    f"{path}:{exc.lineno or 1}:{exc.offset or 0}: "
+                    f"E999[syntax-error] {exc.msg}")
+            except (OSError, UnicodeDecodeError) as exc:
+                report.errors.append(f"{path}:1:0: E998[unreadable] {exc}")
+        report.checked = len(modules)
+        project = ProjectContext(self.root, self.config, modules)
+        for module in modules:
+            for rule in self.rules:
+                for violation in rule.check(module, project):
+                    if not module.suppressed(violation):
+                        report.violations.append(violation)
+        report.violations.sort()
+        return report
+
+    def run_targets(self, targets: Optional[Sequence[str]] = None
+                    ) -> AnalysisReport:
+        """Collect files for *targets* (config defaults apply) and run."""
+        if targets is None or not targets:
+            configured = self.config.get("targets", [])
+            targets = tuple(str(t) for t in configured) \
+                if isinstance(configured, list) and configured \
+                else DEFAULT_TARGETS
+        exclude_cfg = self.config.get("exclude", [])
+        exclude = tuple(str(e) for e in exclude_cfg) \
+            if isinstance(exclude_cfg, list) and exclude_cfg \
+            else DEFAULT_EXCLUDE
+        return self.run(collect_files(self.root, targets, exclude))
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=("AST-based invariant linter for the vw-sdk repro: "
+                     "machine-checks the caching and immutability "
+                     "contracts documented in docs/static-analysis.md."))
+    parser.add_argument("targets", nargs="*",
+                        help="files or directories to check "
+                             "(default: [tool.repro-analysis].targets, "
+                             "falling back to 'src tests benchmarks')")
+    parser.add_argument("--root", default=".",
+                        help="project root holding pyproject.toml and "
+                             "docs/ (default: cwd)")
+    parser.add_argument("--disable", action="append", default=[],
+                        metavar="RULE",
+                        help="skip a rule by id or name (repeatable)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the summary line")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(
+        list(sys.argv[1:] if argv is None else argv))
+    if args.list_rules:
+        for rule in DEFAULT_RULES:
+            print(f"{rule.id}  {rule.name:28s} {rule.summary}")
+        return 0
+    root = Path(args.root).resolve()
+    try:
+        analyzer = Analyzer(root, disable=tuple(args.disable))
+    except UnknownRuleError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = analyzer.run_targets(tuple(args.targets))
+    for line in report.errors:
+        print(line)
+    for violation in report.violations:
+        print(violation.render())
+    if not args.quiet:
+        total = len(report.violations) + len(report.errors)
+        status = "clean" if report.ok else f"{total} finding(s)"
+        print(f"repro-analysis: {report.checked} file(s) checked, "
+              f"{status}", file=sys.stderr)
+    return 0 if report.ok else 1

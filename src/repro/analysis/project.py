@@ -1,0 +1,307 @@
+"""Project-wide facts the rules check modules against.
+
+The linter runs in two phases.  Phase one walks every collected module
+and builds a :class:`ProjectContext`:
+
+* a registry of dataclass definitions (name, ``frozen`` flag, fields
+  with their annotation text and ``compare=`` markers) — the ground
+  truth for the cache-key and frozen-discipline rules;
+* the paper anchors of ``docs/paper-map.md`` (which equations,
+  algorithm, tables, figures and sections the map documents) — the
+  resolution targets of the cross-reference rule;
+* the documented cache-key *exclusions* of ``docs/architecture.md``'s
+  cache inventory (``excludes `layer.name`, `layer.repeats`, …``) —
+  the only fields a canonical key builder may legitimately drop.
+
+Phase two hands ``(module, context)`` pairs to each rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .base import ModuleUnit
+
+__all__ = ["FieldInfo", "DataclassInfo", "PaperAnchors", "ProjectContext",
+           "parse_citations", "roman_to_int"]
+
+#: ``layer`` / ``array`` attribute aliases -> dataclass names, used to
+#: resolve the architecture doc's ```layer.name``` tokens and
+#: request-like parameters of key builders.  Overridable per project
+#: via ``[tool.repro-analysis.cache-key-completeness].request-types``.
+DEFAULT_REQUEST_ALIASES: Dict[str, str] = {
+    "layer": "ConvLayer",
+    "array": "PIMArray",
+}
+
+_ROMAN = {"I": 1, "V": 5, "X": 10, "L": 50, "C": 100, "D": 500, "M": 1000}
+_ROMAN_VALID = re.compile(
+    r"M{0,4}(CM|CD|D?C{0,3})(XC|XL|L?X{0,3})(IX|IV|V?I{0,3})")
+
+#: Citation patterns shared by docstring scans and anchor collection.
+#: Multi-number forms (``eqs. 1-8``, ``eq. 2/3``) expand to every
+#: member; tables and sections accept roman numerals (``Table I``).
+_CITE_PATTERNS: Tuple[Tuple[str, re.Pattern], ...] = (
+    ("eq", re.compile(
+        r"\beqs?\.?\s*(\d+(?:\s*[-–/]\s*\d+)*)", re.IGNORECASE)),
+    ("alg", re.compile(
+        r"\balg(?:orithm)?\.?\s*(\d+)", re.IGNORECASE)),
+    ("table", re.compile(
+        r"\btable[\s-]+([IVXLCDM]+|\d+)\b", re.IGNORECASE)),
+    ("fig", re.compile(
+        r"\bfigs?\.?\s*(\d+(?:\s*[-–/]\s*\d+)*)", re.IGNORECASE)),
+    ("section", re.compile(
+        r"\bsection[\s-]+([IVXLCDM]+|\d+)\b", re.IGNORECASE)),
+)
+
+_EXCLUDES_RE = re.compile(r"excludes?[^|\n]*", re.IGNORECASE)
+_DOTTED_TOKEN_RE = re.compile(r"`(\w+)\.(\w+)`")
+_BARE_TOKEN_RE = re.compile(r"`(\w+)`")
+
+
+def roman_to_int(token: str) -> Optional[int]:
+    """``"IV" -> 4``; ``None`` when *token* is not a roman numeral."""
+    token = token.upper()
+    if not token or not _ROMAN_VALID.fullmatch(token):
+        return None
+    total = 0
+    for ch, nxt in zip(token, token[1:] + " "):
+        value = _ROMAN[ch]
+        total += -value if nxt in _ROMAN and _ROMAN[nxt] > value else value
+    return total
+
+
+def _expand_numbers(token: str) -> List[int]:
+    """``"1-8" -> [1..8]``; ``"2/3" -> [2, 3]``; ``"IV" -> [4]``."""
+    token = token.strip()
+    if re.fullmatch(r"[IVXLCDM]+", token, re.IGNORECASE):
+        value = roman_to_int(token)
+        return [value] if value is not None else []
+    parts = re.split(r"\s*/\s*", token)
+    numbers: List[int] = []
+    for part in parts:
+        bounds = re.split(r"\s*[-–]\s*", part)
+        if len(bounds) == 2 and all(b.isdigit() for b in bounds):
+            lo, hi = int(bounds[0]), int(bounds[1])
+            if lo <= hi and hi - lo <= 64:
+                numbers.extend(range(lo, hi + 1))
+                continue
+        if part.isdigit():
+            numbers.append(int(part))
+    return numbers
+
+
+def parse_citations(text: str) -> List[Tuple[str, int, int]]:
+    """Every ``(kind, number, offset)`` citation in *text*.
+
+    ``offset`` is the character position of the match — callers map it
+    back to a source line.
+    """
+    found: List[Tuple[str, int, int]] = []
+    for kind, pattern in _CITE_PATTERNS:
+        for match in pattern.finditer(text):
+            for number in _expand_numbers(match.group(1)):
+                found.append((kind, number, match.start()))
+    return found
+
+
+@dataclass(frozen=True)
+class PaperAnchors:
+    """The artifact numbers ``docs/paper-map.md`` documents."""
+
+    present: bool
+    anchors: Mapping[str, frozenset]
+
+    def resolves(self, kind: str, number: int) -> bool:
+        """Whether a ``kind number`` citation has a documented anchor."""
+        return number in self.anchors.get(kind, frozenset())
+
+    @classmethod
+    def from_doc(cls, path: Path) -> "PaperAnchors":
+        """Collect anchors from the paper map (absent doc -> inert)."""
+        if not path.is_file():
+            return cls(present=False, anchors={})
+        text = path.read_text(encoding="utf-8")
+        table: Dict[str, Set[int]] = {}
+        for kind, number, _ in parse_citations(text):
+            table.setdefault(kind, set()).add(number)
+        return cls(present=True,
+                   anchors={k: frozenset(v) for k, v in table.items()})
+
+
+@dataclass(frozen=True)
+class FieldInfo:
+    """One dataclass field as declared in source."""
+
+    name: str
+    annotation: str
+    #: ``field(compare=False)`` marks presentation metadata — exempt
+    #: from canonical cache keys by construction.
+    compares: bool = True
+    #: ``field(default_factory=list | dict | set)`` (a mutability
+    #: smell the frozen-discipline rule reports).
+    mutable_factory: bool = False
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class DataclassInfo:
+    """One ``@dataclass`` class definition as declared in source."""
+
+    name: str
+    module: str
+    line: int
+    decorated: bool
+    frozen: bool
+    fields: Tuple[FieldInfo, ...]
+
+    def field_names(self) -> Set[str]:
+        """All declared field names."""
+        return {f.name for f in self.fields}
+
+    def key_fields(self) -> Set[str]:
+        """Fields that participate in identity (``compare=True``)."""
+        return {f.name for f in self.fields if f.compares}
+
+
+def _decorator_name(node: ast.expr) -> str:
+    target = node.func if isinstance(node, ast.Call) else node
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    if isinstance(target, ast.Name):
+        return target.id
+    return ""
+
+
+def _dataclass_of(node: ast.ClassDef, module: str) -> Optional[DataclassInfo]:
+    decorated = frozen = False
+    for dec in node.decorator_list:
+        if _decorator_name(dec) != "dataclass":
+            continue
+        decorated = True
+        if isinstance(dec, ast.Call):
+            for kw in dec.keywords:
+                if (kw.arg == "frozen"
+                        and isinstance(kw.value, ast.Constant)):
+                    frozen = bool(kw.value.value)
+    if not decorated:
+        return None
+    fields: List[FieldInfo] = []
+    for stmt in node.body:
+        if not (isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)):
+            continue
+        if isinstance(stmt.annotation, ast.Constant):
+            annotation = str(stmt.annotation.value)
+        else:
+            annotation = ast.unparse(stmt.annotation)
+        if annotation.startswith("ClassVar"):
+            continue
+        compares = True
+        mutable_factory = False
+        value = stmt.value
+        if (isinstance(value, ast.Call)
+                and _decorator_name(value) == "field"):
+            for kw in value.keywords:
+                if (kw.arg == "compare"
+                        and isinstance(kw.value, ast.Constant)):
+                    compares = bool(kw.value.value)
+                if (kw.arg == "default_factory"
+                        and isinstance(kw.value, ast.Name)
+                        and kw.value.id in ("list", "dict", "set")):
+                    mutable_factory = True
+        fields.append(FieldInfo(name=stmt.target.id, annotation=annotation,
+                                compares=compares,
+                                mutable_factory=mutable_factory,
+                                line=stmt.lineno))
+    return DataclassInfo(name=node.name, module=module, line=node.lineno,
+                         decorated=True, frozen=frozen,
+                         fields=tuple(fields))
+
+
+def _doc_exclusions(path: Path, aliases: Mapping[str, str]
+                    ) -> Tuple[Dict[str, Set[str]], Set[str]]:
+    """Parse the cache inventory's ``excludes`` clauses.
+
+    Returns ``(per-class exclusions, bare exclusions)``: dotted tokens
+    (```layer.name```) resolve through *aliases* to a dataclass field;
+    bare tokens (```tag```) apply to whichever class hosts the key
+    builder being checked.
+    """
+    per_class: Dict[str, Set[str]] = {}
+    bare: Set[str] = set()
+    if not path.is_file():
+        return per_class, bare
+    text = path.read_text(encoding="utf-8")
+    for clause in _EXCLUDES_RE.findall(text):
+        for alias, fname in _DOTTED_TOKEN_RE.findall(clause):
+            cls = aliases.get(alias)
+            if cls is not None:
+                per_class.setdefault(cls, set()).add(fname)
+        for token in _BARE_TOKEN_RE.findall(clause):
+            if "." not in token and token.isidentifier():
+                bare.add(token)
+    return per_class, bare
+
+
+class ProjectContext:
+    """Phase-one facts shared by every rule of one analysis run."""
+
+    def __init__(self, root: Path, config: Mapping[str, object],
+                 modules: Sequence[ModuleUnit]) -> None:
+        self.root = root
+        self.config: Dict[str, object] = dict(config)
+        self.modules: Tuple[ModuleUnit, ...] = tuple(modules)
+
+        key_config = self.config.get("cache-key-completeness", {})
+        aliases = dict(DEFAULT_REQUEST_ALIASES)
+        if isinstance(key_config, dict):
+            extra = key_config.get("request-types", {})
+            if isinstance(extra, dict):
+                aliases.update({str(k): str(v) for k, v in extra.items()})
+        #: ``layer``-style alias -> dataclass name.
+        self.request_aliases: Dict[str, str] = aliases
+
+        #: Dataclass registry keyed by class name.  Name collisions
+        #: across modules keep the *first* definition seen — the rules
+        #: that consume this registry scope their checks by module, so
+        #: fixture corpora never shadow the real core types.
+        self.dataclasses: Dict[str, DataclassInfo] = {}
+        for unit in self.modules:
+            for node in ast.walk(unit.tree):
+                if isinstance(node, ast.ClassDef):
+                    info = _dataclass_of(node, unit.rel)
+                    if info is not None:
+                        self.dataclasses.setdefault(info.name, info)
+
+        docs = self.config.get("docs", {})
+        docs = docs if isinstance(docs, dict) else {}
+        paper_map = root / str(docs.get("paper-map", "docs/paper-map.md"))
+        inventory = root / str(docs.get("cache-inventory",
+                                        "docs/architecture.md"))
+        #: Cross-reference targets from the paper map.
+        self.paper = PaperAnchors.from_doc(paper_map)
+        #: Documented cache-key exclusions from the cache inventory.
+        self.key_exclusions, self.bare_exclusions = _doc_exclusions(
+            inventory, self.request_aliases)
+        self.inventory_path = inventory
+
+    def dataclass_in(self, name: str, module: ModuleUnit
+                     ) -> Optional[DataclassInfo]:
+        """The dataclass *name* preferring a definition in *module*.
+
+        Fixture corpora define their own miniature ``ConvLayer``-style
+        classes; resolving module-locally first keeps their checks
+        self-contained while real modules fall back to the project
+        registry.
+        """
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and node.name == name:
+                info = _dataclass_of(node, module.rel)
+                if info is not None:
+                    return info
+        return self.dataclasses.get(name)

@@ -1,0 +1,182 @@
+"""Pluggable rule registry: the extension point for invariant checks.
+
+Deliberately mirrors :mod:`repro.api.registry` — the solver registry
+that made mapping schemes a one-decorator extension point — so adding
+a lint rule feels exactly like adding a scheme::
+
+    @register_rule
+    class NoSpookyGlobalsRule(Rule):
+        id = "REP099"
+        name = "no-spooky-globals"
+        summary = "module-level mutable state is banned"
+
+        def check(self, module, project):
+            ...
+            yield self.violation(module, node, "mutable global")
+
+Registered rules are immediately visible to ``python -m
+repro.analysis``, the pyproject ``disable`` list, and the fixture
+test harness — no other module needs editing.
+"""
+
+from __future__ import annotations
+
+import difflib
+import threading
+from typing import TYPE_CHECKING, Dict, Iterator, Tuple, Type
+
+from ..core.types import ConfigurationError
+from .base import ModuleUnit, Violation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    import ast
+
+    from .project import ProjectContext
+
+__all__ = [
+    "Rule",
+    "RuleRegistry",
+    "UnknownRuleError",
+    "DuplicateRuleError",
+    "register_rule",
+    "DEFAULT_RULES",
+]
+
+
+class UnknownRuleError(ConfigurationError):
+    """Raised when a rule id or name does not resolve in the registry."""
+
+
+class DuplicateRuleError(ConfigurationError):
+    """Raised when a rule id or name is registered twice."""
+
+
+class Rule:
+    """Base class for invariant rules.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding :class:`~repro.analysis.base.Violation` objects.  Rules
+    must be stateless across modules — the engine may check files in
+    any order and reuses one instance per run.
+    """
+
+    #: Stable machine id, e.g. ``"REP003"`` (used in ``noqa[...]``).
+    id: str = ""
+    #: Human slug, e.g. ``"cached-array-mutation"``.
+    name: str = ""
+    #: One-line description for ``--list-rules`` and the docs table.
+    summary: str = ""
+
+    def check(self, module: ModuleUnit,
+              project: "ProjectContext") -> Iterator[Violation]:
+        """Yield every violation of this rule in *module*."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Helpers shared by all rules
+    # ------------------------------------------------------------------
+    def violation(self, module: ModuleUnit, node: "ast.AST",
+                  message: str) -> Violation:
+        """A violation of this rule at *node*'s source position."""
+        return Violation(path=module.rel,
+                         line=int(getattr(node, "lineno", 1)),
+                         col=int(getattr(node, "col_offset", 0)),
+                         rule_id=self.id, rule_name=self.name,
+                         message=message)
+
+    def options(self, project: "ProjectContext") -> Dict[str, object]:
+        """This rule's option table from ``[tool.repro-analysis]``.
+
+        Looked up under the rule name, e.g.
+        ``[tool.repro-analysis.cached-array-mutation]``.
+        """
+        table = project.config.get(self.name, {})
+        return dict(table) if isinstance(table, dict) else {}
+
+
+class RuleRegistry:
+    """A named collection of lint rules, safe for concurrent reads.
+
+    Iteration order is registration order (for the default registry:
+    the order the rule modules are imported — which fixes the report
+    order for equal source positions).
+    """
+
+    def __init__(self) -> None:
+        self._rules: Dict[str, Rule] = {}
+        self._lock = threading.Lock()
+
+    def register(self, rule_cls: Type[Rule]) -> Rule:
+        """Instantiate and register *rule_cls*; returns the instance.
+
+        Raises :class:`DuplicateRuleError` when the id or name is
+        taken — silently shadowing an invariant check is worse than a
+        plugin crash.
+        """
+        rule = rule_cls()
+        if not rule.id or not rule.name:
+            raise ConfigurationError(
+                f"rule {rule_cls.__name__} must define non-empty "
+                f"'id' and 'name' class attributes")
+        with self._lock:
+            taken = {r.id for r in self._rules.values()} | set(self._rules)
+            if rule.id in taken or rule.name in taken:
+                raise DuplicateRuleError(
+                    f"rule {rule.id}[{rule.name}] collides with an "
+                    f"already-registered rule")
+            self._rules[rule.name] = rule
+        return rule
+
+    def get(self, id_or_name: str) -> Rule:
+        """Resolve a rule by id or name, with a did-you-mean hint."""
+        with self._lock:
+            for rule in self._rules.values():
+                if id_or_name in (rule.id, rule.name):
+                    return rule
+            known = tuple(self._rules) + tuple(
+                rule.id for rule in self._rules.values())
+        message = (f"unknown rule {id_or_name!r}; known: "
+                   f"{', '.join(sorted(known))}")
+        close = difflib.get_close_matches(str(id_or_name), known, n=1,
+                                          cutoff=0.5)
+        if close:
+            message += f"; did you mean {close[0]!r}?"
+        raise UnknownRuleError(message)
+
+    def names(self) -> Tuple[str, ...]:
+        """Registered rule names, in registration order."""
+        with self._lock:
+            return tuple(self._rules)
+
+    def rules(self, disable: Tuple[str, ...] = ()) -> Tuple[Rule, ...]:
+        """Registered rule instances minus the *disable* ids/names."""
+        dropped = {self.get(entry).name for entry in disable}
+        with self._lock:
+            return tuple(rule for name, rule in self._rules.items()
+                         if name not in dropped)
+
+    def __contains__(self, id_or_name: object) -> bool:  # noqa: D105
+        try:
+            self.get(str(id_or_name))
+        except UnknownRuleError:
+            return False
+        return True
+
+    def __iter__(self) -> Iterator[Rule]:  # noqa: D105
+        return iter(self.rules())
+
+    def __len__(self) -> int:  # noqa: D105
+        with self._lock:
+            return len(self._rules)
+
+
+#: The process-wide registry ``python -m repro.analysis`` runs.  The
+#: built-in rules register themselves here from
+#: :mod:`repro.analysis.rules`.
+DEFAULT_RULES = RuleRegistry()
+
+
+def register_rule(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator registering *rule_cls* in the default registry."""
+    DEFAULT_RULES.register(rule_cls)
+    return rule_cls

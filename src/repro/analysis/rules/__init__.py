@@ -1,0 +1,36 @@
+"""Built-in invariant rules.
+
+Importing this package registers every built-in rule with
+:data:`repro.analysis.registry.DEFAULT_RULES`; the import order below
+fixes the report order for violations at equal source positions.
+"""
+
+from __future__ import annotations
+
+from . import (  # noqa: F401  (imported for registration side effects)
+    cache_keys,
+    frozen,
+    mutation,
+    dtype,
+    floats,
+    xref,
+    annotations,
+)
+
+from .annotations import StrictAnnotationsRule
+from .cache_keys import CacheKeyCompletenessRule
+from .dtype import DtypeDisciplineRule
+from .floats import FloatEqualityRule
+from .frozen import FrozenRequestRule
+from .mutation import CachedArrayMutationRule
+from .xref import PaperCrossRefRule
+
+__all__ = [
+    "CacheKeyCompletenessRule",
+    "FrozenRequestRule",
+    "CachedArrayMutationRule",
+    "DtypeDisciplineRule",
+    "FloatEqualityRule",
+    "PaperCrossRefRule",
+    "StrictAnnotationsRule",
+]

@@ -1,0 +1,75 @@
+"""REP007: the strict-typed layers carry full signature annotations.
+
+The typing pass (``[tool.mypy]`` in pyproject) holds ``api/``,
+``core/``, ``chip/``, ``dse/`` and this package to ``mypy --strict``.
+mypy itself is not guaranteed to exist in every dev container, so this
+rule enforces the *load-bearing* subset syntactically: every function
+in a strict module annotates every parameter (``self``/``cls`` exempt)
+and its return type.  mypy, where available (CI), then checks the
+annotations are *true*; this rule guarantees they at least *exist*, so
+``--strict``'s ``disallow_untyped_defs`` never regresses unnoticed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from ..base import ModuleUnit, Violation, rel_matches
+from ..project import ProjectContext
+from ..registry import Rule, register_rule
+
+#: Directory prefixes held to strict annotation coverage.
+DEFAULT_STRICT_PREFIXES = (
+    "src/repro/api/",
+    "src/repro/core/",
+    "src/repro/chip/",
+    "src/repro/dse/",
+    "src/repro/analysis/",
+)
+
+
+@register_rule
+class StrictAnnotationsRule(Rule):
+    """Strict-layer functions must annotate all params and returns."""
+
+    id = "REP007"
+    name = "strict-annotations"
+    summary = ("functions in the strict-typed layers (api/, core/, "
+               "chip/, dse/, analysis/) must annotate every parameter "
+               "and the return type")
+
+    def check(self, module: ModuleUnit,
+              project: ProjectContext) -> Iterator[Violation]:
+        options = self.options(project)
+        prefixes = tuple(options.get("strict-prefixes",
+                                     DEFAULT_STRICT_PREFIXES))
+        if not rel_matches(module.rel, prefixes):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            named = args.posonlyargs + args.args + args.kwonlyargs
+            missing: List[str] = []
+            for index, arg in enumerate(named):
+                if index == 0 and arg.arg in ("self", "cls"):
+                    continue
+                if arg.annotation is None:
+                    missing.append(arg.arg)
+            for star in (args.vararg, args.kwarg):
+                if star is not None and star.annotation is None:
+                    missing.append("*" + star.arg)
+            if missing:
+                yield self.violation(
+                    module, node,
+                    f"{node.name}() leaves parameter(s) "
+                    f"{', '.join(missing)} unannotated — this module is "
+                    f"in the strict-typing surface (mypy --strict)")
+            if node.returns is None:
+                yield self.violation(
+                    module, node,
+                    f"{node.name}() has no return annotation — this "
+                    f"module is in the strict-typing surface "
+                    f"(mypy --strict)")

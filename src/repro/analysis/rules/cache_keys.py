@@ -1,0 +1,279 @@
+"""REP001: canonical cache keys must cover every solution-affecting field.
+
+The engine stack memoizes aggressively, and every memo key is derived
+from a *key builder* — ``MappingRequest.canonical()``,
+``core.lattice._geometry_key``, ``NetworkLattice.geometry_key`` — that
+enumerates dataclass fields by hand.  Forgetting a field when one is
+added (a new stride mode, a dilation parameter, a grouped-conv count)
+silently serves stale solutions: the classic cache-poisoning bug the
+cache inventory in ``docs/architecture.md`` exists to prevent.
+
+This rule machine-checks the contract from both ends:
+
+* a key builder must read **every** identity field
+  (``compare=True``) of each request-like value it keys, except the
+  fields the cache inventory explicitly documents as excluded
+  (``excludes `layer.name`, `layer.repeats`, …``);
+* a key builder must **not** read a field that is documented as
+  excluded or marked ``field(compare=False)`` — keying on presentation
+  metadata fragments the cache and contradicts the inventory;
+* every documented exclusion must still name a real field — renaming
+  or deleting a field without updating the inventory is doc drift;
+* ``functools.lru_cache`` must not memoize methods (per-instance
+  leaks) or functions taking parameters of *non-frozen* dataclass
+  types (unhashable or mutable keys).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..base import ModuleUnit, Violation
+from ..project import DataclassInfo, ProjectContext
+from ..registry import Rule, register_rule
+
+#: Function/method names treated as canonical key builders.
+DEFAULT_KEY_FUNCTIONS = ("canonical", "geometry_key", "_geometry_key")
+
+_LRU_NAMES = {"lru_cache", "cache"}
+
+
+def _decorator_is_lru(node: ast.expr) -> bool:
+    target = node.func if isinstance(node, ast.Call) else node
+    if isinstance(target, ast.Attribute):
+        return target.attr in _LRU_NAMES
+    if isinstance(target, ast.Name):
+        return target.id in _LRU_NAMES
+    return False
+
+
+def _annotation_name(node: Optional[ast.expr]) -> str:
+    """The bare class name of a parameter annotation (or ``""``)."""
+    if node is None:
+        return ""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.strip("'\"")
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+class _AccessCollector(ast.NodeVisitor):
+    """Collect ``base.field`` attribute reads inside a function body.
+
+    ``targets`` maps an access base — a parameter name like ``layer``,
+    or ``("self", "layer")`` for a request-like field of the enclosing
+    dataclass — to the dataclass it must cover.
+    """
+
+    def __init__(self, params: Dict[str, str],
+                 self_fields: Dict[str, str]) -> None:
+        self.params = params
+        self.self_fields = self_fields
+        self.param_access: Dict[str, Set[str]] = {p: set() for p in params}
+        self.self_attr_access: Set[str] = set()
+        self.nested_access: Dict[str, Set[str]] = {
+            f: set() for f in self_fields}
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        base = node.value
+        if isinstance(base, ast.Name) and base.id in self.params:
+            self.param_access[base.id].add(node.attr)
+        elif isinstance(base, ast.Name) and base.id == "self":
+            self.self_attr_access.add(node.attr)
+        elif (isinstance(base, ast.Attribute)
+              and isinstance(base.value, ast.Name)
+              and base.value.id == "self"
+              and base.attr in self.self_fields):
+            self.nested_access[base.attr].add(node.attr)
+        self.generic_visit(node)
+
+
+@register_rule
+class CacheKeyCompletenessRule(Rule):
+    """Key builders must cover all non-excluded identity fields."""
+
+    id = "REP001"
+    name = "cache-key-completeness"
+    summary = ("canonical key builders must read every identity field "
+               "of their request-like types, cross-checked against the "
+               "cache inventory's documented exclusions")
+
+    def check(self, module: ModuleUnit,
+              project: ProjectContext) -> Iterator[Violation]:
+        options = self.options(project)
+        key_functions = tuple(
+            options.get("key-functions", DEFAULT_KEY_FUNCTIONS))
+
+        yield from self._doc_drift(module, project)
+
+        classes: List[Tuple[Optional[ast.ClassDef], ast.AST]] = [
+            (None, module.tree)]
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                classes.append((node, node))
+        for owner, scope in classes:
+            for stmt in ast.iter_child_nodes(scope):
+                if not isinstance(stmt, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                    continue
+                yield from self._check_lru(module, project, stmt, owner)
+                if stmt.name in key_functions:
+                    yield from self._check_builder(module, project, stmt,
+                                                   owner)
+
+    # ------------------------------------------------------------------
+    # Documented-exclusion drift
+    # ------------------------------------------------------------------
+    def _doc_drift(self, module: ModuleUnit,
+                   project: ProjectContext) -> Iterator[Violation]:
+        """Exclusions documented for classes defined in this module must
+        name fields that still exist."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name not in project.request_aliases.values():
+                continue
+            info = project.dataclass_in(node.name, module)
+            if info is None or info.module != module.rel:
+                continue
+            documented = project.key_exclusions.get(node.name, set())
+            for fname in sorted(documented - info.field_names()):
+                yield self.violation(
+                    module, node,
+                    f"cache inventory documents excluded field "
+                    f"`{node.name}.{fname}` which no longer exists — "
+                    f"update {project.inventory_path.name}")
+
+    # ------------------------------------------------------------------
+    # Key-builder coverage
+    # ------------------------------------------------------------------
+    def _targets(self, func: ast.AST, owner: Optional[ast.ClassDef],
+                 module: ModuleUnit, project: ProjectContext
+                 ) -> Tuple[Dict[str, str], Dict[str, str],
+                            Optional[DataclassInfo]]:
+        """Resolve the request-like values a key builder must cover.
+
+        Returns ``(param targets, self-field targets, enclosing
+        dataclass)`` — each target maps an access base to a dataclass
+        name.
+        """
+        aliases = project.request_aliases
+        known = set(aliases.values())
+        params: Dict[str, str] = {}
+        args = func.args
+        named = args.posonlyargs + args.args + args.kwonlyargs
+        for index, arg in enumerate(named):
+            if index == 0 and arg.arg in ("self", "cls"):
+                continue
+            annotation = _annotation_name(arg.annotation)
+            if annotation in known:
+                params[arg.arg] = annotation
+            elif arg.annotation is None and arg.arg in aliases:
+                params[arg.arg] = aliases[arg.arg]
+
+        self_fields: Dict[str, str] = {}
+        enclosing: Optional[DataclassInfo] = None
+        is_method = bool(named) and named[0].arg == "self"
+        if owner is not None and is_method:
+            enclosing = project.dataclass_in(owner.name, module)
+            if enclosing is not None:
+                for field in enclosing.fields:
+                    base = field.annotation.strip("'\"")
+                    if base in known:
+                        self_fields[field.name] = base
+        return params, self_fields, enclosing
+
+    def _coverage(self, module: ModuleUnit, project: ProjectContext,
+                  func: ast.AST, label: str, cls_name: str,
+                  accessed: Set[str]) -> Iterator[Violation]:
+        info = project.dataclass_in(cls_name, module)
+        if info is None:
+            return
+        documented = set(project.key_exclusions.get(cls_name, set()))
+        required = info.key_fields() - documented
+        metadata = (info.field_names() - info.key_fields()) | documented
+        missing = sorted(required - accessed)
+        if missing:
+            yield self.violation(
+                module, func,
+                f"key builder {label} does not cover "
+                f"{cls_name} field(s) {', '.join(missing)} — every "
+                f"identity field must enter the cache key (or be "
+                f"documented as excluded in the cache inventory)")
+        for extra in sorted(accessed & metadata):
+            yield self.violation(
+                module, func,
+                f"key builder {label} keys on {cls_name}.{extra}, "
+                f"which is documented/declared as presentation "
+                f"metadata — metadata must not fragment the cache")
+
+    def _check_builder(self, module: ModuleUnit, project: ProjectContext,
+                       func: ast.AST, owner: Optional[ast.ClassDef]
+                       ) -> Iterator[Violation]:
+        params, self_fields, enclosing = self._targets(
+            func, owner, module, project)
+        if not params and not self_fields:
+            return
+        collector = _AccessCollector(params, self_fields)
+        for stmt in func.body:
+            collector.visit(stmt)
+        label = (f"{owner.name}.{func.name}" if owner is not None
+                 else func.name)
+        for param, cls_name in params.items():
+            yield from self._coverage(module, project, func,
+                                      f"{label}({param})", cls_name,
+                                      collector.param_access[param])
+        for field_name, cls_name in self_fields.items():
+            accessed = (collector.nested_access[field_name]
+                        if collector.nested_access[field_name]
+                        else set())
+            yield from self._coverage(module, project, func,
+                                      f"{label}(self.{field_name})",
+                                      cls_name, accessed)
+        if enclosing is not None and self_fields:
+            # The enclosing request object's own scalar fields: a key
+            # method must read them too (bare documented exclusions
+            # like ``tag`` apply here).
+            required = enclosing.key_fields() - project.bare_exclusions
+            accessed = collector.self_attr_access
+            missing = sorted(required - accessed)
+            if missing:
+                yield self.violation(
+                    module, func,
+                    f"key builder {enclosing.name}.{func.name} does not "
+                    f"cover own field(s) {', '.join(missing)} — every "
+                    f"identity field must enter the cache key (or be "
+                    f"documented as excluded in the cache inventory)")
+
+    # ------------------------------------------------------------------
+    # lru_cache discipline
+    # ------------------------------------------------------------------
+    def _check_lru(self, module: ModuleUnit, project: ProjectContext,
+                   func: ast.AST, owner: Optional[ast.ClassDef]
+                   ) -> Iterator[Violation]:
+        if not any(_decorator_is_lru(dec) for dec in func.decorator_list):
+            return
+        args = func.args
+        named = args.posonlyargs + args.args + args.kwonlyargs
+        if owner is not None and named and named[0].arg in ("self", "cls"):
+            yield self.violation(
+                module, func,
+                f"lru_cache on method {owner.name}.{func.name} keys the "
+                f"memo on instances — it pins every instance forever "
+                f"and leaks per-object state; memoize a module-level "
+                f"function or use the engine's LRUMemo")
+            return
+        for arg in named:
+            cls_name = _annotation_name(arg.annotation)
+            info = project.dataclass_in(cls_name, module) \
+                if cls_name else None
+            if info is not None and not info.frozen:
+                yield self.violation(
+                    module, func,
+                    f"lru_cache on {func.name} takes parameter "
+                    f"{arg.arg}: {cls_name}, a non-frozen dataclass — "
+                    f"mutable keys make memo entries silently stale")

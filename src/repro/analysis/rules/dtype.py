@@ -1,0 +1,85 @@
+"""REP004: lattice arrays carry explicit dtypes.
+
+The cycle model (eq. 1-8) counts integer cycles; the lattices encode
+infeasible cells as ``np.iinfo(np.int64).max``.  A bare ``np.array``
+or ``np.zeros`` call silently picks ``float64`` (or promotes on mixed
+input), and a float lattice truncates ``INFEASIBLE`` to a *finite*
+``1.8e19``-ish value that survives ``argmin`` — geometry bugs that
+surface three layers away from their cause.  Inside the lattice
+modules, every array constructor must therefore pin its dtype.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..base import ModuleUnit, Violation, rel_matches
+from ..project import ProjectContext
+from ..registry import Rule, register_rule
+
+#: Modules whose arrays feed the integer cycle model.
+DEFAULT_MODULES = (
+    "repro/core/lattice.py",
+    "repro/core/grouped.py",
+    "repro/core/sweep.py",
+    "repro/chip/sweep.py",
+)
+
+#: numpy constructors that default to float64 / promoted dtypes.
+_CONSTRUCTORS = frozenset({
+    "array", "asarray", "ascontiguousarray", "zeros", "ones", "empty",
+    "full", "arange", "fromiter", "frombuffer",
+})
+
+
+def _numpy_constructor(node: ast.Call) -> str:
+    """``"zeros"`` for ``np.zeros(...)`` / ``numpy.zeros(...)``; ``""``
+    otherwise (``*_like`` and method calls are exempt — they inherit)."""
+    func = node.func
+    if (isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ("np", "numpy")
+            and func.attr in _CONSTRUCTORS):
+        return func.attr
+    return ""
+
+
+@register_rule
+class DtypeDisciplineRule(Rule):
+    """Array constructors in lattice modules must pass ``dtype=``."""
+
+    id = "REP004"
+    name = "dtype-discipline"
+    summary = ("numpy constructors in lattice modules must pin an "
+               "explicit dtype — bare promotion turns INFEASIBLE "
+               "sentinels into finite floats")
+
+    def check(self, module: ModuleUnit,
+              project: ProjectContext) -> Iterator[Violation]:
+        options = self.options(project)
+        modules = tuple(options.get("modules", DEFAULT_MODULES))
+        if not rel_matches(module.rel, modules):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _numpy_constructor(node)
+            if not name:
+                continue
+            if any(kw.arg == "dtype" for kw in node.keywords):
+                continue
+            # ``np.array(x, np.int64)`` — dtype positionally is fine
+            # for the constructors whose second positional IS dtype.
+            if (name in ("array", "asarray", "zeros", "ones", "empty",
+                         "fromiter", "arange")
+                    and len(node.args) >= 2):
+                continue
+            if name == "full" and len(node.args) >= 3:
+                continue
+            yield self.violation(
+                module, node,
+                f"np.{name}(...) without an explicit dtype — lattice "
+                f"arrays must pin dtype=np.int64 (or the intended "
+                f"dtype) so INFEASIBLE sentinels and cycle counts "
+                f"never silently promote to float")

@@ -1,0 +1,83 @@
+"""REP005: no float-literal equality outside test fixtures.
+
+The chip layer accumulates per-layer energies with ``math.fsum`` so
+that pool totals are deterministic across summation orders; comparing
+such totals (or any derived float) to a literal with ``==`` reintroduces
+exactly the representation sensitivity ``fsum`` exists to remove.
+Production code must compare integers as integers (``int(x) == 42``)
+or use explicit tolerances; only test files — where fixtures pin exact
+expected values on purpose — are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..base import ModuleUnit, Violation
+from ..project import ProjectContext
+from ..registry import Rule, register_rule
+
+#: Argument-name fragments that mark an accumulation as an energy /
+#: cost total, where ``sum`` should be ``math.fsum`` (``energ``
+#: covers energy/energies/energized alike).
+_ENERGY_HINTS = ("energ", "_nj", "cost", "joule")
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if (isinstance(node, ast.UnaryOp)
+            and isinstance(node.op, (ast.USub, ast.UAdd))):
+        return _is_float_literal(node.operand)
+    return False
+
+
+def _mentions_energy(node: ast.expr) -> bool:
+    for sub in ast.walk(node):
+        name = ""
+        if isinstance(sub, ast.Name):
+            name = sub.id
+        elif isinstance(sub, ast.Attribute):
+            name = sub.attr
+        if name and any(h in name.lower() for h in _ENERGY_HINTS):
+            return True
+    return False
+
+
+@register_rule
+class FloatEqualityRule(Rule):
+    """``== <float literal>`` is banned outside test files."""
+
+    id = "REP005"
+    name = "float-equality"
+    summary = ("float-literal ==/!= comparisons outside tests defeat "
+               "fsum determinism; compare ints or use tolerances")
+
+    def check(self, module: ModuleUnit,
+              project: ProjectContext) -> Iterator[Violation]:
+        if module.is_test:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Compare):
+                operands = [node.left] + list(node.comparators)
+                has_eq = any(isinstance(op, (ast.Eq, ast.NotEq))
+                             for op in node.ops)
+                if has_eq and any(_is_float_literal(o) for o in operands):
+                    yield self.violation(
+                        module, node,
+                        "equality comparison against a float literal — "
+                        "energy/cycle totals go through math.fsum and "
+                        "float identities are representation-dependent; "
+                        "compare as int(...) or with an explicit "
+                        "tolerance")
+            elif (isinstance(node, ast.Call)
+                  and isinstance(node.func, ast.Name)
+                  and node.func.id == "sum"
+                  and node.args
+                  and _mentions_energy(node.args[0])):
+                yield self.violation(
+                    module, node,
+                    "builtin sum() over an energy/cost series — use "
+                    "math.fsum so totals are independent of summation "
+                    "order")

@@ -1,0 +1,91 @@
+"""REP002: request/geometry types must be frozen and hashable.
+
+Every cache in the stack keys on request-like objects (``ConvLayer``,
+``PIMArray``, ``MappingRequest``, ``CostParams``) or stores them inside
+memo entries.  A mutable request breaks both uses at once: its hash can
+drift after insertion, and an in-place edit rewrites history for every
+cache that already holds it.  The contract — enforced here — is that
+every dataclass in the request-surface modules is declared
+``frozen=True`` and carries only hashable field types.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Tuple
+
+from ..base import ModuleUnit, Violation, rel_matches
+from ..project import ProjectContext, _dataclass_of
+from ..registry import Rule, register_rule
+
+#: Modules holding the engine's request/geometry surface.  The issue
+#: contract names ``api/request.py`` and ``core/types.py``; the other
+#: entries are the frozen geometry/cost types those requests embed.
+DEFAULT_MODULES = (
+    "repro/api/request.py",
+    "repro/core/types.py",
+    "repro/core/layer.py",
+    "repro/core/array.py",
+    "repro/core/window.py",
+    "repro/core/cost.py",
+)
+
+#: Type tokens that are mutable (or unhashable) wherever they appear
+#: in an annotation.  Word-boundary matched, so ``frozenset`` and
+#: ``Dataset`` never trip the ``set``/``Set`` tokens.
+_MUTABLE_TOKENS = re.compile(
+    r"\b(list|dict|set|List|Dict|Set|bytearray|ndarray|"
+    r"MutableMapping|MutableSequence|MutableSet|defaultdict|"
+    r"OrderedDict|deque)\b")
+
+
+@register_rule
+class FrozenRequestRule(Rule):
+    """Request-surface dataclasses must be ``frozen=True`` and hashable."""
+
+    id = "REP002"
+    name = "frozen-request-discipline"
+    summary = ("dataclasses in the request-surface modules must be "
+               "frozen=True and contain only hashable field types")
+
+    def check(self, module: ModuleUnit,
+              project: ProjectContext) -> Iterator[Violation]:
+        options = self.options(project)
+        modules = tuple(options.get("modules", DEFAULT_MODULES))
+        if not rel_matches(module.rel, modules):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            info = _dataclass_of(node, module.rel)
+            if info is None:
+                continue  # plain classes (exceptions, mixins) are fine
+            if not info.frozen:
+                yield self.violation(
+                    module, node,
+                    f"dataclass {node.name} must be declared "
+                    f"@dataclass(frozen=True): request-surface objects "
+                    f"are cache keys and cache residents")
+            for field in info.fields:
+                problems: Tuple[str, ...] = ()
+                match = _MUTABLE_TOKENS.search(field.annotation)
+                if match is not None:
+                    problems += (f"annotation {field.annotation!r} "
+                                 f"contains mutable type "
+                                 f"{match.group(1)!r}",)
+                if field.mutable_factory:
+                    problems += ("field(default_factory=...) builds a "
+                                 "fresh mutable per instance",)
+                referenced = project.dataclass_in(
+                    field.annotation.strip("'\""), module)
+                if referenced is not None and not referenced.frozen:
+                    problems += (f"field type {referenced.name} is a "
+                                 f"non-frozen dataclass",)
+                for problem in problems:
+                    yield Violation(
+                        path=module.rel, line=field.line, col=0,
+                        rule_id=self.id, rule_name=self.name,
+                        message=(f"{node.name}.{field.name}: {problem} — "
+                                 f"frozen request types must stay "
+                                 f"hashable all the way down"))

@@ -1,0 +1,78 @@
+"""REP006: paper citations in docstrings must resolve in the paper map.
+
+The codebase cites the source paper constantly — ``eq. 7``,
+``Algorithm 1``, ``Table I`` — and ``docs/paper-map.md`` is the ledger
+that maps each citation to the implementing code.  A docstring citing
+an equation the map does not know about is either a mistyped number
+or an undocumented claim; both rot the paper-to-code trail this repo
+treats as a first-class artifact.  Every ``eq./Alg./Table/Fig/Section``
+citation in a docstring must resolve to an anchor the paper map
+documents.  When the paper map is absent the rule is inert.
+"""
+
+from __future__ import annotations
+
+import ast
+from bisect import bisect_right
+from typing import Iterator, List
+
+from ..base import ModuleUnit, Violation
+from ..project import ProjectContext, parse_citations
+from ..registry import Rule, register_rule
+
+_KIND_LABELS = {
+    "eq": "eq.",
+    "alg": "Algorithm",
+    "table": "Table",
+    "fig": "Fig.",
+    "section": "Section",
+}
+
+
+def _docstring_nodes(tree: ast.AST) -> Iterator[ast.Constant]:
+    """Every docstring constant in *tree*, with position info."""
+    scopes = [tree] + [
+        node for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef))]
+    for scope in scopes:
+        body = getattr(scope, "body", [])
+        if (body and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)):
+            yield body[0].value
+
+
+@register_rule
+class PaperCrossRefRule(Rule):
+    """Docstring citations must resolve to paper-map anchors."""
+
+    id = "REP006"
+    name = "paper-xref"
+    summary = ("eq./Algorithm/Table citations in docstrings must "
+               "resolve to a docs/paper-map.md anchor")
+
+    def check(self, module: ModuleUnit,
+              project: ProjectContext) -> Iterator[Violation]:
+        if not project.paper.present:
+            return
+        if module.is_test:
+            return
+        for doc in _docstring_nodes(module.tree):
+            text = doc.value
+            # Offsets -> docstring-relative line numbers.
+            starts: List[int] = [0]
+            for index, ch in enumerate(text):
+                if ch == "\n":
+                    starts.append(index + 1)
+            for kind, number, offset in parse_citations(text):
+                if project.paper.resolves(kind, number):
+                    continue
+                line = doc.lineno + bisect_right(starts, offset) - 1
+                label = _KIND_LABELS.get(kind, kind)
+                yield Violation(
+                    path=module.rel, line=line, col=0,
+                    rule_id=self.id, rule_name=self.name,
+                    message=(f"docstring cites {label} {number}, which "
+                             f"has no anchor in docs/paper-map.md — "
+                             f"fix the citation or document the anchor"))

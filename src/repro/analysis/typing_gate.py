@@ -1,0 +1,111 @@
+"""Ratcheted mypy gate: strict typing that degrades gracefully.
+
+``python -m repro.analysis.typing_gate`` runs ``mypy`` against the
+``[tool.mypy]`` configuration in ``pyproject.toml`` and compares the
+error count against the ratchet baseline in ``mypy-baseline.json``:
+
+* more errors than the baseline -> exit 1 (a typing regression);
+* fewer errors -> exit 0 with a nudge to ratchet the baseline down
+  (``--update-baseline`` rewrites it);
+* mypy not installed -> exit 0 with a notice.  The dev container does
+  not ship mypy; CI installs it and runs this gate for real.  The
+  syntactic half of strictness (REP007 strict-annotations) runs
+  everywhere regardless, so annotation coverage cannot regress even
+  where mypy is absent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+__all__ = ["main"]
+
+BASELINE_NAME = "mypy-baseline.json"
+
+
+def _mypy_available() -> bool:
+    try:
+        import mypy  # noqa: F401
+    except ModuleNotFoundError:
+        return False
+    return True
+
+
+def _run_mypy(root: Path) -> List[str]:
+    """mypy error lines for the configured strict surface."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file",
+         str(root / "pyproject.toml")],
+        cwd=str(root), capture_output=True, text=True, check=False)
+    lines = []
+    for line in proc.stdout.splitlines():
+        if ": error:" in line:
+            lines.append(line.strip())
+    return lines
+
+
+def _load_baseline(path: Path) -> int:
+    if not path.is_file():
+        return 0
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (ValueError, OSError):
+        return 0
+    allowed = data.get("allowed_errors", 0)
+    return int(allowed) if isinstance(allowed, int) else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Gate entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.typing_gate",
+        description="ratcheted mypy --strict gate")
+    parser.add_argument("--root", default=".",
+                        help="project root (default: cwd)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite mypy-baseline.json with the "
+                             "current error count")
+    args = parser.parse_args(
+        list(sys.argv[1:] if argv is None else argv))
+    root = Path(args.root).resolve()
+    if not _mypy_available():
+        print("typing-gate: mypy is not installed in this environment; "
+              "skipping (CI installs mypy and enforces the ratchet — "
+              "REP007 still enforces annotation coverage locally)")
+        return 0
+    errors = _run_mypy(root)
+    baseline_path = root / BASELINE_NAME
+    allowed = _load_baseline(baseline_path)
+    if args.update_baseline:
+        baseline_path.write_text(
+            json.dumps({"allowed_errors": len(errors),
+                        "note": "ratchet: may only decrease"},
+                       indent=2) + "\n",
+            encoding="utf-8")
+        print(f"typing-gate: baseline updated to {len(errors)} "
+              f"error(s)")
+        return 0
+    for line in errors:
+        print(line)
+    if len(errors) > allowed:
+        print(f"typing-gate: {len(errors)} error(s) exceed the ratchet "
+              f"baseline of {allowed} — fix the regressions or discuss "
+              f"raising the baseline", file=sys.stderr)
+        return 1
+    if len(errors) < allowed:
+        print(f"typing-gate: {len(errors)} error(s), baseline allows "
+              f"{allowed} — ratchet down with --update-baseline",
+              file=sys.stderr)
+    else:
+        print(f"typing-gate: clean at baseline ({allowed} allowed)",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -45,7 +45,8 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (TYPE_CHECKING, Dict, Iterable, List, Optional,
+                    Sequence, Tuple, Union)
 
 import numpy as np
 
@@ -58,6 +59,11 @@ from ..search.result import MappingSolution
 from .registry import DEFAULT_REGISTRY, SolverRegistry
 from .request import BatchRequest, MappingRequest
 from .response import BatchResult, CacheSnapshot, MappingResponse
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..chip.sweep import ChipLattice, ChipSweep
+    from ..core.cost import CostParams
+    from ..dse.pareto import ChipDesignPoint
 
 __all__ = ["MappingEngine", "default_engine", "set_default_engine"]
 
@@ -356,7 +362,7 @@ class MappingEngine:
         return (scheme in NetworkLattice.SUPPORTED
                 and self.BATCHABLE in self.registry.get(scheme).capabilities)
 
-    def network_sweep(self, network,
+    def network_sweep(self, network: Iterable[ConvLayer],
                       scheme: str = "vw-sdk") -> Optional[NetworkLattice]:
         """The memoized batched lattice for *network*, or ``None``.
 
@@ -383,7 +389,7 @@ class MappingEngine:
         return self._sweeps.get_or_compute(
             key, lambda: NetworkLattice.for_network(layers, scheme))
 
-    def network_cycles(self, network, array: PIMArray,
+    def network_cycles(self, network: Iterable[ConvLayer], array: PIMArray,
                        scheme: str = "vw-sdk") -> int:
         """Total cycles of *network* on *array* under *scheme*.
 
@@ -407,7 +413,8 @@ class MappingEngine:
         return sum(resp.solution.cycles
                    for resp in self.map_batch(batch).responses)
 
-    def sweep_cycles(self, network, arrays: Sequence[PIMArray],
+    def sweep_cycles(self, network: Iterable[ConvLayer],
+                     arrays: Sequence[PIMArray],
                      scheme: str = "vw-sdk") -> np.ndarray:
         """Total network cycles for *many* candidate arrays: ``(A,)``.
 
@@ -432,8 +439,11 @@ class MappingEngine:
     # ------------------------------------------------------------------
     # Chip sweeps (batched greedy planning)
     # ------------------------------------------------------------------
-    def chip_lattice(self, network, array, scheme: str = "vw-sdk", *,
-                     cost_params=None):
+    def chip_lattice(self, network: Iterable[ConvLayer],
+                     array: Union[PIMArray, Sequence[PIMArray]],
+                     scheme: str = "vw-sdk", *,
+                     cost_params: Optional["CostParams"] = None
+                     ) -> "ChipLattice":
         """The memoized :class:`~repro.chip.sweep.ChipLattice` for
         ``(network, array, scheme, cost_params)``.
 
@@ -478,8 +488,12 @@ class MappingEngine:
                  for layer, arr in zip(layers, arrays)],
                 cost_params=cost_params))
 
-    def chip_sweep(self, network, array, counts,
-                   scheme: str = "vw-sdk", *, cost_params=None):
+    def chip_sweep(self, network: Iterable[ConvLayer],
+                   array: Union[PIMArray, Sequence[PIMArray]],
+                   counts: Sequence[int],
+                   scheme: str = "vw-sdk", *,
+                   cost_params: Optional["CostParams"] = None
+                   ) -> "ChipSweep":
         """Greedy pipeline outcomes for many chip array counts.
 
         One vectorized replay of the shared :meth:`chip_lattice` over
@@ -501,10 +515,15 @@ class MappingEngine:
         return self.chip_lattice(network, array, scheme,
                                  cost_params=cost_params).sweep(counts)
 
-    def chip_pareto(self, network, geometries=None,
+    def chip_pareto(self, network: Iterable[ConvLayer],
+                    geometries: Optional[Sequence[PIMArray]] = None,
                     scheme: str = "vw-sdk", *, pools: bool = False,
-                    cost_params=None, max_cells: int = 512 * 512,
-                    sides=None, max_arrays=None, target_bottleneck=None):
+                    cost_params: Optional["CostParams"] = None,
+                    max_cells: int = 512 * 512,
+                    sides: Optional[Sequence[int]] = None,
+                    max_arrays: Optional[int] = None,
+                    target_bottleneck: Optional[int] = None
+                    ) -> List["ChipDesignPoint"]:
         """Cells / energy / latency frontier of chip deployments.
 
         Facade over :func:`repro.dse.pareto.chip_pareto` bound to this

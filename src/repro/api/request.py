@@ -18,11 +18,14 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, replace
-from typing import Dict, Iterable, Iterator, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, Sequence, Tuple
 
 from ..core.array import PIMArray
 from ..core.layer import ConvLayer
 from ..core.types import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..networks.layerset import Network
 
 __all__ = [
     "MappingRequest",
@@ -172,7 +175,7 @@ class BatchRequest:
             raise ConfigurationError("a BatchRequest needs >= 1 request")
 
     @classmethod
-    def from_network(cls, network, array: PIMArray,
+    def from_network(cls, network: "Network", array: PIMArray,
                      schemes: Sequence[str] = ("vw-sdk",)) -> "BatchRequest":
         """One request per (scheme, layer) of *network*, scheme-major."""
         requests = [MappingRequest(layer=layer, array=array, scheme=scheme,

@@ -39,12 +39,16 @@ one lattice each.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.array import PIMArray
 from ..core.cost import DEFAULT_COST_PARAMS, CostParams, cost_report
+from ..core.layer import ConvLayer
 from ..core.types import ConfigurationError, MappingError
 from ..search.result import MappingSolution
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..api.engine import MappingEngine
 
 __all__ = ["PoolPlan", "best_fit_arrays", "pool_plans"]
 
@@ -67,7 +71,7 @@ class PoolPlan:
         return f"{self.label}[{len(self.arrays)} stages]"
 
 
-def _default_engine():
+def _default_engine() -> "MappingEngine":
     from ..api.engine import default_engine
     return default_engine()
 
@@ -99,9 +103,9 @@ def _fit_key(solution: MappingSolution,
             cells, solution.array.rows)
 
 
-def best_fit_arrays(network, pool: Sequence[PIMArray],
+def best_fit_arrays(network: Iterable[ConvLayer], pool: Sequence[PIMArray],
                     scheme: str = "vw-sdk", *,
-                    engine=None,
+                    engine: Optional["MappingEngine"] = None,
                     cost_params: Optional[CostParams] = None
                     ) -> Tuple[PIMArray, ...]:
     """Assign every layer of *network* its best-fitting pool geometry.
@@ -142,10 +146,10 @@ def best_fit_arrays(network, pool: Sequence[PIMArray],
     return tuple(chosen)
 
 
-def pool_plans(network, pool: Sequence[PIMArray],
+def pool_plans(network: Iterable[ConvLayer], pool: Sequence[PIMArray],
                scheme: str = "vw-sdk", *,
                include_mixed: bool = True,
-               engine=None,
+               engine: Optional["MappingEngine"] = None,
                cost_params: Optional[CostParams] = None) -> List[PoolPlan]:
     """Candidate deployment plans of *network* over an array *pool*.
 

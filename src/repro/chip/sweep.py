@@ -52,15 +52,21 @@ from __future__ import annotations
 import math
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.cache import frozen_arrays
 from ..core.cost import CostParams, cost_report
 from ..core.lattice import INFEASIBLE
 from ..core.types import ceil_div
 from ..search.result import MappingSolution
 from .allocation import residency_arrays
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..api.engine import MappingEngine
+    from ..core.array import PIMArray
+    from ..core.layer import ConvLayer
 
 __all__ = ["ChipLattice", "ChipOutcome", "ChipSweep", "chip_lattice"]
 
@@ -305,8 +311,7 @@ class ChipLattice:
                    stage_v, cost_v, count_v, k_v, cum]
         if stage_energy is not None:
             vectors.append(stage_energy)
-        for vec in vectors:
-            vec.setflags(write=False)
+        frozen_arrays(vectors)
         return cls(solutions=solutions, n_pw=n_pw, tiles=tiles,
                    repeats=repeats, step=step, group_stage=stage_v,
                    group_cost=cost_v, group_count=count_v, group_k=k_v,
@@ -314,8 +319,9 @@ class ChipLattice:
                    stage_energy_nj=stage_energy)
 
     @classmethod
-    def for_network(cls, network, array, scheme: str = "vw-sdk", *,
-                    engine=None,
+    def for_network(cls, network: "Iterable[ConvLayer]", array: "PIMArray",
+                    scheme: str = "vw-sdk", *,
+                    engine: Optional["MappingEngine"] = None,
                     cost_params: Optional[CostParams] = None
                     ) -> "ChipLattice":
         """Build from a network by solving each layer through *engine*

@@ -11,9 +11,30 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Callable, Generic, Hashable, TypeVar
+from typing import Callable, Generic, Hashable, Iterable, TypeVar
 
-__all__ = ["LRUMemo"]
+import numpy as np
+
+__all__ = ["LRUMemo", "freeze_arrays"]
+
+
+def freeze_arrays(*arrays: "np.ndarray") -> None:
+    """Mark *arrays* read-only before they enter a cache.
+
+    Cache-resident arrays are shared by every caller that hits the same
+    key; ``writeable=False`` turns any in-place edit — which would
+    silently corrupt all future hits — into an immediate
+    ``ValueError`` at the mutation site.  The static half of the same
+    contract is REP003 (``cached-array-mutation``) in
+    :mod:`repro.analysis`.
+    """
+    for array in arrays:
+        array.setflags(write=False)
+
+
+def frozen_arrays(arrays: Iterable["np.ndarray"]) -> None:
+    """:func:`freeze_arrays` over any iterable (for vector tables)."""
+    freeze_arrays(*arrays)
 
 V = TypeVar("V")
 

@@ -22,11 +22,15 @@ Depthwise convolution is the ``G == IC`` special case
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..core.utilization import utilization_report
 from .array import PIMArray
 from .layer import ConvLayer
 from .types import ConfigurationError, ceil_div
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..search.result import MappingSolution
 
 __all__ = ["GroupedMapping", "grouped_mapping", "depthwise_mapping"]
 
@@ -54,7 +58,8 @@ class GroupedMapping:
         return self.sequential_cycles / self.packed_cycles
 
 
-def _packing_factor(solution, array: PIMArray, groups: int) -> int:
+def _packing_factor(solution: "MappingSolution", array: PIMArray,
+                    groups: int) -> int:
     """Groups packable block-diagonally given one group's tile sizes."""
     tiles = utilization_report(solution).tiles
     rows_needed = max(t.rows_used for t in tiles)

@@ -68,7 +68,7 @@ from typing import Tuple
 import numpy as np
 
 from .array import PIMArray
-from .cache import LRUMemo
+from .cache import LRUMemo, frozen_arrays
 from .cycles import CycleBreakdown
 from .layer import ConvLayer
 from .types import MappingError
@@ -294,8 +294,7 @@ def _compute_layer_grids(layer: ConvLayer) -> Tuple[np.ndarray, ...]:
                 & (pw_w[None, :] <= layer.padded_ifm_w))
 
     grids = (nw_h, nw_w, pw_h, pw_w, area, windows, n_pw, fits_ifm)
-    for grid in grids:
-        grid.setflags(write=False)  # shared across cached lattices
+    frozen_arrays(grids)  # shared across cached lattices
     return grids
 
 

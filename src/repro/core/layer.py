@@ -252,6 +252,6 @@ class ConvLayer:
         return (self.kernel_h, self.kernel_w)
 
 
-def _kernel_pair_of(kernel) -> Tuple[int, int]:
+def _kernel_pair_of(kernel: object) -> Tuple[int, int]:
     """Internal helper shared with other constructors."""
     return as_pair("kernel", kernel)

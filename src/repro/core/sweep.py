@@ -56,7 +56,7 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 import numpy as np
 
 from .array import PIMArray
-from .cache import LRUMemo
+from .cache import LRUMemo, freeze_arrays
 from .layer import ConvLayer
 from .lattice import INFEASIBLE, _geometry_key, layer_lattice
 from .types import ConfigurationError
@@ -120,7 +120,7 @@ def _compute_window_front(layer: ConvLayer) -> np.ndarray:
                                grids.area.ravel()[candidates],
                                grids.windows.ravel()[candidates])
         candidates = candidates[local]
-    candidates.setflags(write=False)
+    freeze_arrays(candidates)
     return candidates
 
 
@@ -180,6 +180,16 @@ class NetworkLattice:
     #: window search (im2col incumbent + full stride-1 grid); ``im2col``
     #: is the eq. 1 closed form alone.
     SUPPORTED = ("vw-sdk", "im2col")
+
+    def __post_init__(self) -> None:
+        # Lattices are cache residents (the engine's sweep memo hands
+        # one instance to every caller with the same geometry key), so
+        # every vector is frozen at construction: an in-place edit
+        # raises at the mutation site instead of corrupting the cache.
+        freeze_arrays(self.layer_geo, self.counts, self.n_win,
+                      self.im2col_rows, self.ic, self.oc, self.area_f,
+                      self.windows_f, self.n_pw_f, self.ic_f, self.oc_f,
+                      self.seg_starts, self.seg_geo)
 
     # ------------------------------------------------------------------
     # Construction

@@ -97,7 +97,7 @@ def _coerce_int(name: str, value: object) -> int:
     return int(as_float)
 
 
-def as_pair(name: str, value) -> Tuple[int, int]:
+def as_pair(name: str, value: object) -> Tuple[int, int]:
     """Normalise ``value`` to an ``(int, int)`` pair.
 
     A scalar ``v`` becomes ``(v, v)``; a 2-sequence is validated

@@ -59,7 +59,7 @@ class InfeasibleTargetError(ReproError):
         self.best = best
 
 
-def _network_label(network) -> str:
+def _network_label(network: object) -> str:
     """A display name for error messages; plain layer iterables (which
     the engine layer deliberately accepts) have no ``.name``."""
     return getattr(network, "name", None) or "network"

@@ -2,8 +2,8 @@
 
 Each module exposes ``run()`` returning a result object with
 ``to_text()``, and (where the paper prints concrete values) ``verify()``
-returning ``(name, expected, measured, ok)`` tuples.  See
-``DESIGN.md`` section 4 for the experiment index.
+returning ``(name, expected, measured, ok)`` tuples.  See the
+experiment index in ``DESIGN.md``.
 """
 
 from . import fig1, fig2, fig4, fig5, fig7, fig8, fig9, table1

@@ -68,13 +68,13 @@ def verify() -> List[Tuple[str, object, object, bool]]:
     # IC_t for the 4x3 window (area 12) at 512 rows must be 42 — the
     # tiled channel count in Table I's VGG-13 layer 5 / ResNet layer 4.
     ic_42 = by_rows["512 rows"].y[PW_AREAS.index(12)]
-    checks.append(("Fig7a IC_t(area=12, 512 rows)", 42.0, ic_42,
-                   ic_42 == 42.0))
+    checks.append(("Fig7a IC_t(area=12, 512 rows)", 42, ic_42,
+                   int(ic_42) == 42))
     ic_32 = by_rows["512 rows"].y[PW_AREAS.index(16)]
-    checks.append(("Fig7a IC_t(area=16, 512 rows)", 32.0, ic_32,
-                   ic_32 == 32.0))
+    checks.append(("Fig7a IC_t(area=16, 512 rows)", 32, ic_32,
+                   int(ic_32) == 32))
     # OC_t for 4 windows at 512 columns must be 128 (VGG-13 layer 3/4).
     oc_128 = by_cols["512 columns"].y[WINDOW_COUNTS.index(4)]
-    checks.append(("Fig7b OC_t(4 windows, 512 cols)", 128.0, oc_128,
-                   oc_128 == 128.0))
+    checks.append(("Fig7b OC_t(4 windows, 512 cols)", 128, oc_128,
+                   int(oc_128) == 128))
     return checks

@@ -7,6 +7,7 @@ utilization bars all come from :class:`NetworkMappingReport`.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -67,7 +68,7 @@ class NetworkMappingReport:
     def total_energy_nj(self, params: CostParams = DEFAULT_COST_PARAMS
                         ) -> float:
         """Network compute energy (distinct layers, like total_cycles)."""
-        return sum(c.total_energy_nj for c in self.costs(params))
+        return math.fsum(c.total_energy_nj for c in self.costs(params))
 
     def rows(self) -> List[Dict[str, object]]:
         """Tabular per-layer rows for reporting/export."""

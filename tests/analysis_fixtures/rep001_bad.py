@@ -1,0 +1,35 @@
+"""REP001 seeds: incomplete key builder, metadata keying, bad lru use."""
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    ifm: int
+    kernel: int
+    stride: int
+    repeats: int = 1
+    name: str = field(default="", compare=False)
+
+
+def canonical(layer):  # expect: REP001 REP001
+    # Misses `stride` (an identity field) and keys on `name` (documented
+    # presentation metadata) — both halves of the contract broken.
+    return (layer.ifm, layer.kernel, layer.name)
+
+
+class SolutionMemo:
+    @lru_cache(maxsize=16)
+    def solve(self, key):  # expect: REP001
+        return key
+
+
+@dataclass
+class MutableKey:
+    rows: int
+
+
+@lru_cache(maxsize=8)
+def probe(req: MutableKey):  # expect: REP001
+    return req.rows

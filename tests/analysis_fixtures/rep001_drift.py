@@ -1,0 +1,15 @@
+"""REP001 doc-drift seed: the inventory excludes fields that are gone.
+
+The fixture inventory documents ``layer.name`` and ``layer.repeats`` as
+excluded, but this ConvLayer defines neither — renames the inventory
+never followed.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ConvLayer:  # expect: REP001 REP001
+    ifm: int
+    kernel: int
+    stride: int

@@ -1,0 +1,23 @@
+"""REP001 counter-seeds: a complete, metadata-free key builder."""
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    ifm: int
+    kernel: int
+    stride: int
+    repeats: int = 1
+    name: str = field(default="", compare=False)
+
+
+def canonical(layer):
+    # Every identity field minus the documented exclusions; no metadata.
+    return (layer.ifm, layer.kernel, layer.stride)
+
+
+@lru_cache(maxsize=8)
+def probe(layer: ConvLayer):
+    return layer.ifm

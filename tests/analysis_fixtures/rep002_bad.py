@@ -1,0 +1,21 @@
+"""REP002 seeds: a mutable request class and unhashable fields."""
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class MutableRequest:  # expect: REP002
+    rows: int
+    cols: int
+
+
+@dataclass(frozen=True)
+class ListyRequest:
+    sizes: List[int]  # expect: REP002
+    tags: dict = field(default_factory=dict)  # expect: REP002 REP002
+
+
+@dataclass(frozen=True)
+class NestedRequest:
+    inner: MutableRequest  # expect: REP002

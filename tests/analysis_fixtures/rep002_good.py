@@ -1,0 +1,19 @@
+"""REP002 counter-seeds: frozen, hashable all the way down."""
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Geometry:
+    rows: int
+    cols: int
+
+
+@dataclass(frozen=True)
+class Request:
+    geometry: Geometry
+    scheme: str
+    sides: Tuple[int, ...] = ()
+    labels: FrozenSet[str] = frozenset()
+    note: Optional[str] = field(default=None, compare=False)

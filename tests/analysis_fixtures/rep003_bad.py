@@ -1,0 +1,13 @@
+"""REP003 seeds: in-place edits of cache-resident lattice arrays."""
+
+from somewhere import layer_lattice
+
+
+def poke(layer):
+    lat = layer_lattice(layer)
+    lat.cycles[0] = 1  # expect: REP003
+    area = lat.area
+    area += 1  # expect: REP003
+    lat.front.sort()  # expect: REP003
+    lat.cycles.setflags(write=True)  # expect: REP003
+    layer_lattice(layer).n_pw[0] = 2  # expect: REP003

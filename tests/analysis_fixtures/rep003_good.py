@@ -1,0 +1,14 @@
+"""REP003 counter-seeds: copy-then-edit and pure reads are fine."""
+
+from somewhere import layer_lattice
+
+
+def safe(layer):
+    lat = layer_lattice(layer)
+    area = lat.area.copy()
+    area += 1
+    total = lat.cycles.sum()
+    fresh = layer_lattice(layer).n_pw + 1
+    mine = [0, 1]
+    mine[0] = 2
+    return area, total, fresh, mine

@@ -1,0 +1,10 @@
+"""REP004 seeds: bare numpy constructors in a lattice module."""
+
+import numpy as np
+
+
+def grids(n):
+    area = np.zeros((n, n))  # expect: REP004
+    counts = np.array([1, 2, 3])  # expect: REP004
+    blank = np.full((n, n), 7)  # expect: REP004
+    return area, counts, blank

@@ -1,0 +1,11 @@
+"""REP004 counter-seeds: every constructor pins its dtype."""
+
+import numpy as np
+
+
+def grids(n):
+    area = np.zeros((n, n), dtype=np.int64)
+    counts = np.array([1, 2, 3], dtype=np.int64)
+    blank = np.full((n, n), 7, dtype=np.int64)
+    alike = np.zeros_like(area)
+    return area, counts, blank, alike

@@ -1,0 +1,9 @@
+"""REP005 seeds: float-literal equality and sum() over energies."""
+
+
+def check(total, energies):
+    if total == 1.5:  # expect: REP005
+        return True
+    exact = total != -2.25  # expect: REP005
+    budget = sum(e for e in energies)  # expect: REP005
+    return exact, budget

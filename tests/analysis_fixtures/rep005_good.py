@@ -1,0 +1,12 @@
+"""REP005 counter-seeds: int comparisons, tolerances, math.fsum."""
+
+import math
+
+
+def check(total, energies):
+    if int(total) == 2:
+        return True
+    close = math.isclose(total, 1.5, rel_tol=1e-9)
+    budget = math.fsum(energies)
+    scaled = total * 2.5
+    return close, budget, scaled

@@ -1,0 +1,11 @@
+"""REP006 seeds: citations with no paper-map anchor."""
+
+
+def window_cycles():
+    """Implements eq. 42 for the window search."""  # expect: REP006
+    return 0
+
+
+def frontier():
+    """Reproduces Fig. 12 of the paper."""  # expect: REP006
+    return 0

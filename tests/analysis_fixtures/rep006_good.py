@@ -1,0 +1,11 @@
+"""REP006 counter-seeds: citations the fixture paper map anchors."""
+
+
+def window_cycles():
+    """Implements eqs. 1-3 via Algorithm 1 (Table I layers)."""
+    return 0
+
+
+def frontier():
+    """Reproduces Fig. 7; background in Section II."""
+    return 0

@@ -1,0 +1,9 @@
+"""REP007 seeds: unannotated signatures in a strict module."""
+
+
+def cycles(layer, array=None):  # expect: REP007 REP007
+    return layer
+
+
+def total(*counts):  # expect: REP007 REP007
+    return len(counts)

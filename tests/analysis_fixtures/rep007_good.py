@@ -1,0 +1,16 @@
+"""REP007 counter-seeds: fully annotated signatures."""
+
+from typing import Optional
+
+
+def cycles(layer: int, array: Optional[int] = None) -> int:
+    return layer
+
+
+def total(*counts: int) -> int:
+    return len(counts)
+
+
+class Probe:
+    def run(self, budget: int) -> int:
+        return budget

@@ -1,0 +1,11 @@
+"""Suppression seeds: noqa scoping, bare and named."""
+
+from somewhere import layer_lattice
+
+
+def poke(layer):
+    lat = layer_lattice(layer)
+    lat.cycles[0] = 1  # repro: noqa[REP003]
+    lat.area[0] = 2  # repro: noqa
+    lat.n_pw[0] = 3  # repro: noqa[cached-array-mutation]
+    lat.windows[0] = 4  # repro: noqa[REP001]  # expect: REP003

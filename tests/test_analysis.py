@@ -1,0 +1,286 @@
+"""Tests for repro.analysis: the invariant linter and its contracts.
+
+The fixture corpus under ``tests/analysis_fixtures/`` seeds violations
+(``*_bad.py``) and near-miss clean code (``*_good.py``); every line
+that must produce a finding carries an ``# expect: REPNNN`` marker.
+The corpus test diffs the linter's ``(line, rule_id)`` findings against
+the markers cell-for-cell, so each rule provably fires where it must
+and stays silent where it must not.
+"""
+
+import re
+import subprocess
+import sys
+from collections import Counter
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis import (Analyzer, DEFAULT_RULES, DuplicateRuleError,
+                            Rule, RuleRegistry, UnknownRuleError,
+                            parse_module)
+from repro.analysis.base import rel_matches
+from repro.analysis.engine import collect_files, load_config, main
+from repro.analysis.project import (PaperAnchors, parse_citations,
+                                    roman_to_int)
+from repro.analysis import typing_gate
+from repro.api.engine import MappingEngine
+from repro.core.cache import freeze_arrays
+from repro.core.layer import ConvLayer
+from repro.core.lattice import layer_lattice
+from repro.core.sweep import NetworkLattice
+
+REPO = Path(__file__).resolve().parents[1]
+FIXTURES = Path(__file__).resolve().parent / "analysis_fixtures"
+
+#: Rule options binding the module-scoped rules to the fixture files
+#: and the doc-driven rules to the fixture documents — the corpus never
+#: depends on the real tree's layout or docs wording.
+FIXTURE_CONFIG = {
+    "docs": {"paper-map": "paper_map.md", "cache-inventory": "inventory.md"},
+    "frozen-request-discipline": {
+        "modules": ["rep002_bad.py", "rep002_good.py"]},
+    "dtype-discipline": {"modules": ["rep004_bad.py", "rep004_good.py"]},
+    "strict-annotations": {
+        "strict-prefixes": ["rep007_bad.py", "rep007_good.py"]},
+}
+
+_EXPECT_RE = re.compile(r"#\s*expect:\s*((?:REP\d+[\s,]*)+)")
+
+
+def lint_fixture(name):
+    analyzer = Analyzer(FIXTURES, config=FIXTURE_CONFIG)
+    return analyzer.run([FIXTURES / name])
+
+
+def expected_findings(name):
+    """The ``(line, rule_id)`` multiset declared by ``# expect:``."""
+    marked = Counter()
+    source = (FIXTURES / name).read_text(encoding="utf-8")
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _EXPECT_RE.search(text)
+        if match:
+            for rule_id in re.findall(r"REP\d+", match.group(1)):
+                marked[(lineno, rule_id)] += 1
+    return marked
+
+
+# ----------------------------------------------------------------------
+# The fixture corpus, cell for cell
+# ----------------------------------------------------------------------
+FIXTURE_FILES = sorted(p.name for p in FIXTURES.glob("*.py"))
+
+
+def test_fixture_corpus_is_complete():
+    # One bad and one good fixture per shipped rule, plus the
+    # suppression and doc-drift seeds.
+    for rule in DEFAULT_RULES:
+        number = rule.id.replace("REP", "").lstrip("0")
+        stem = f"rep{int(rule.id[3:]):03d}"
+        assert f"{stem}_bad.py" in FIXTURE_FILES, rule.id
+        assert f"{stem}_good.py" in FIXTURE_FILES, rule.id
+        assert number  # ids stay numeric
+    assert "suppressed.py" in FIXTURE_FILES
+    assert "rep001_drift.py" in FIXTURE_FILES
+
+
+@pytest.mark.parametrize("name", FIXTURE_FILES)
+def test_fixture_findings_match_markers(name):
+    report = lint_fixture(name)
+    assert not report.errors
+    found = Counter((v.line, v.rule_id) for v in report.violations)
+    assert found == expected_findings(name)
+
+
+@pytest.mark.parametrize("rule_id", sorted(r.id for r in DEFAULT_RULES))
+def test_every_rule_catches_its_seeded_violation(rule_id):
+    name = f"rep{int(rule_id[3:]):03d}_bad.py"
+    fired = {v.rule_id for v in lint_fixture(name).violations}
+    assert rule_id in fired
+
+
+def test_rep001_messages_name_the_missing_and_metadata_fields():
+    messages = [v.message for v in lint_fixture("rep001_bad.py").violations]
+    assert any("stride" in m and "does not cover" in m for m in messages)
+    assert any("ConvLayer.name" in m and "metadata" in m for m in messages)
+    assert any("lru_cache on method" in m for m in messages)
+    assert any("non-frozen dataclass" in m for m in messages)
+
+
+def test_rep001_doc_drift_names_the_stale_exclusions():
+    messages = [v.message for v in
+                lint_fixture("rep001_drift.py").violations]
+    assert any("`ConvLayer.name`" in m for m in messages)
+    assert any("`ConvLayer.repeats`" in m for m in messages)
+
+
+def test_suppression_scopes_to_the_named_rule():
+    report = lint_fixture("suppressed.py")
+    # Three mutations are suppressed (by id, bare, and by rule name);
+    # the fourth names a different rule, so REP003 still fires.
+    assert [v.rule_id for v in report.violations] == ["REP003"]
+
+
+# ----------------------------------------------------------------------
+# Registry contracts (mirrors the api solver registry)
+# ----------------------------------------------------------------------
+class _ToyRule(Rule):
+    id = "REP900"
+    name = "toy-rule"
+    summary = "fixture rule"
+
+    def check(self, module, project):
+        return iter(())
+
+
+def test_registry_resolves_by_id_and_name():
+    registry = RuleRegistry()
+    rule = registry.register(_ToyRule)
+    assert registry.get("REP900") is rule
+    assert registry.get("toy-rule") is rule
+    assert "REP900" in registry and "toy-rule" in registry
+    assert len(registry) == 1
+
+
+def test_registry_rejects_duplicates():
+    registry = RuleRegistry()
+    registry.register(_ToyRule)
+    with pytest.raises(DuplicateRuleError):
+        registry.register(_ToyRule)
+
+
+def test_registry_unknown_rule_suggests_close_match():
+    with pytest.raises(UnknownRuleError) as err:
+        DEFAULT_RULES.get("cache-key-completness")
+    assert "did you mean 'cache-key-completeness'" in str(err.value)
+
+
+def test_registry_disable_by_id_or_name():
+    names = {r.name for r in DEFAULT_RULES.rules(disable=("REP003",))}
+    assert "cached-array-mutation" not in names
+    assert "cache-key-completeness" in names
+
+
+def test_default_registry_ships_the_documented_rules():
+    assert {r.id for r in DEFAULT_RULES} >= {
+        "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
+        "REP007"}
+
+
+# ----------------------------------------------------------------------
+# Project facts: citations, anchors, config plumbing
+# ----------------------------------------------------------------------
+def test_citation_parsing_expands_ranges_lists_and_romans():
+    kinds = parse_citations("eqs. 1-3 and eq. 7/8, Table I, Alg. 1")
+    numbers = sorted(n for k, n, _ in kinds if k == "eq")
+    assert numbers == [1, 2, 3, 7, 8]
+    assert ("table", 1) in {(k, n) for k, n, _ in kinds}
+    assert ("alg", 1) in {(k, n) for k, n, _ in kinds}
+    assert roman_to_int("IX") == 9 and roman_to_int("xii") == 12
+    assert roman_to_int("IXI") is None
+
+
+def test_paper_anchors_inert_without_doc(tmp_path):
+    anchors = PaperAnchors.from_doc(tmp_path / "missing.md")
+    assert not anchors.present
+    assert not anchors.resolves("eq", 1)
+
+
+def test_rel_matches_suffix_and_directory_patterns():
+    assert rel_matches("src/repro/core/lattice.py", ("core/lattice.py",))
+    assert rel_matches("src/repro/api/engine.py", ("src/repro/api/",))
+    assert not rel_matches("src/repro/core/lattice.py", ("chip/sweep.py",))
+
+
+def test_load_config_reads_the_repo_pyproject():
+    config = load_config(REPO)
+    assert config.get("targets") == ["src", "tests", "benchmarks"]
+    assert "tests/analysis_fixtures" in config.get("exclude", [])
+
+
+def test_collect_files_excludes_the_fixture_corpus():
+    rels = {p.relative_to(REPO).as_posix()
+            for p in collect_files(REPO, ("tests",),
+                                   ("tests/analysis_fixtures",))}
+    assert "tests/test_analysis.py" in rels
+    assert not any(r.startswith("tests/analysis_fixtures/") for r in rels)
+
+
+def test_parse_module_reports_syntax_errors_as_findings(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def oops(:\n", encoding="utf-8")
+    with pytest.raises(SyntaxError):
+        parse_module(bad, tmp_path)
+    report = Analyzer(tmp_path, config={}).run([bad])
+    assert report.errors and "E999" in report.errors[0]
+    assert not report.ok
+
+
+# ----------------------------------------------------------------------
+# The shipped tree and the CLI
+# ----------------------------------------------------------------------
+def test_shipped_tree_is_clean():
+    report = Analyzer(REPO).run_targets()
+    rendered = [v.render() for v in report.violations] + report.errors
+    assert report.ok, "\n".join(rendered)
+    assert report.checked > 100  # the whole tree, not a subset
+
+
+def test_cli_exit_codes():
+    assert main(["--root", str(REPO)]) == 0
+    assert main(["--list-rules"]) == 0
+    assert main(["--root", str(FIXTURES),
+                 str(FIXTURES / "rep003_bad.py")]) == 1
+    assert main(["--root", str(REPO), "--disable", "no-such-rule"]) == 2
+
+
+def test_cli_module_entry_point_runs_clean():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "--quiet"],
+        cwd=str(REPO), capture_output=True, text=True,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"})
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_typing_gate_exits_zero_here():
+    # mypy absent -> graceful skip; mypy present -> within the ratchet.
+    assert typing_gate.main(["--root", str(REPO)]) == 0
+
+
+# ----------------------------------------------------------------------
+# The runtime half of the immutability contract
+# ----------------------------------------------------------------------
+def test_freeze_arrays_marks_read_only():
+    grid = np.zeros((2, 2), dtype=np.int64)
+    freeze_arrays(grid)
+    with pytest.raises(ValueError):
+        grid[0, 0] = 1
+
+
+def test_network_lattice_arrays_are_read_only():
+    lattice = NetworkLattice.for_network(
+        [ConvLayer.square(14, 3, 16, 16), ConvLayer.square(7, 3, 16, 32)])
+    vectors = [lattice.layer_geo, lattice.counts, lattice.n_win,
+               lattice.im2col_rows, lattice.ic, lattice.oc,
+               lattice.area_f, lattice.windows_f, lattice.n_pw_f,
+               lattice.ic_f, lattice.oc_f, lattice.seg_starts,
+               lattice.seg_geo]
+    assert all(not vec.flags.writeable for vec in vectors)
+    with pytest.raises(ValueError):
+        lattice.counts[0] = 99  # repro: noqa[REP003] — proves read-only
+
+
+def test_engine_cached_sweep_is_read_only():
+    engine = MappingEngine()
+    layers = [ConvLayer.square(14, 3, 16, 16)]
+    sweep = engine.network_sweep(layers)
+    assert sweep is engine.network_sweep(layers)  # cache hit: shared
+    with pytest.raises(ValueError):
+        sweep.counts[0] = 7  # repro: noqa[REP003] — proves read-only
+
+
+def test_layer_grids_stay_read_only():
+    grids = layer_lattice(ConvLayer.square(10, 3, 8, 8))
+    with pytest.raises(ValueError):
+        grids.area[0, 0] = 1  # repro: noqa[REP003] — proves read-only

@@ -69,7 +69,7 @@ class TestLayerLattice:
     def test_shared_grids_are_read_only(self):
         grids = layer_lattice(ConvLayer.square(10, 3, 8, 8))
         with pytest.raises(ValueError):
-            grids.area[0, 0] = 1
+            grids.area[0, 0] = 1  # repro: noqa[REP003] — proves read-only
 
     @given(any_layers, arrays)
     @settings(max_examples=40, deadline=None)
