@@ -96,6 +96,23 @@ def validate_bench_payload(payload: Dict[str, object],
         problems.append(
             f"{source}: speedup {payload['speedup']}x regressed below the "
             f"asserted floor {payload['floor']}x")
+    memory = payload.get("memory")
+    if memory is not None:
+        # Optional peak-memory guard (BENCH_backend.json): enforced
+        # exactly like the speedup floor.
+        if not isinstance(memory, dict):
+            problems.append(f"{source}: 'memory' must be an object")
+        else:
+            for key in ("peak_mb", "ceiling_mb"):
+                if not isinstance(memory.get(key), (int, float)):
+                    problems.append(
+                        f"{source}: 'memory.{key}' must be a number")
+            if (isinstance(memory.get("peak_mb"), (int, float))
+                    and isinstance(memory.get("ceiling_mb"), (int, float))
+                    and memory["peak_mb"] > memory["ceiling_mb"]):
+                problems.append(
+                    f"{source}: peak memory {memory['peak_mb']} MB exceeds "
+                    f"the asserted ceiling {memory['ceiling_mb']} MB")
     return problems
 
 

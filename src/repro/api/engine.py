@@ -51,6 +51,7 @@ from typing import (TYPE_CHECKING, Dict, Iterable, List, Optional,
 import numpy as np
 
 from ..core.array import PIMArray
+from ..core.backend import Backend, Workspace, get_backend
 from ..core.cache import LRUMemo
 from ..core.layer import ConvLayer
 from ..core.sweep import NetworkLattice
@@ -147,16 +148,27 @@ class MappingEngine:
     max_workers:
         Thread-pool width for :meth:`map_batch`.  ``None`` lets
         ``concurrent.futures`` pick; ``1`` forces serial execution.
+    backend:
+        Compute backend for the batched-lattice paths: ``"auto"``
+        (numba when installed, else numpy), ``"numpy"``, ``"numba"``,
+        or a :class:`~repro.core.backend.Backend` instance.  Resolved
+        eagerly, so an explicit ``"numba"`` without numba installed
+        fails here rather than mid-sweep.  Every backend is
+        bit-identical (property-tested against the scalar oracle);
+        the choice only moves wall-clock.
 
     >>> engine = MappingEngine()
     >>> layer = ConvLayer.square(14, 3, 256, 256)
     >>> engine.solve(layer, PIMArray.square(512), "vw-sdk").cycles
     504
+    >>> MappingEngine(backend="numpy").backend.name
+    'numpy'
     """
 
     def __init__(self, registry: Optional[SolverRegistry] = None,
                  cache_size: int = 4096,
-                 max_workers: Optional[int] = None) -> None:
+                 max_workers: Optional[int] = None,
+                 backend: Union[str, Backend] = "auto") -> None:
         if cache_size < 0:
             raise ConfigurationError(
                 f"cache_size must be >= 0, got {cache_size}")
@@ -165,8 +177,43 @@ class MappingEngine:
                 f"max_workers must be >= 1 (or None), got {max_workers}")
         self.registry = registry if registry is not None else DEFAULT_REGISTRY
         self.max_workers = max_workers
+        self._backend = get_backend(backend)
         self._cache = _LRUCache(cache_size)
         self._sweeps: LRUMemo = LRUMemo(maxsize=self.SWEEP_CACHE_SIZE)
+        # One sweep workspace per thread (Workspace is not thread-safe);
+        # the registry list exists only so stats() can aggregate the
+        # reuse/grow counters across threads.
+        self._ws_local = threading.local()
+        self._ws_all: List[Workspace] = []
+        self._ws_lock = threading.Lock()
+
+    @property
+    def backend(self) -> Backend:
+        """The engine's resolved compute backend."""
+        return self._backend
+
+    def _resolve_backend(self, backend: Union[str, Backend, None]) -> Backend:
+        """Per-request override (``None`` means the engine's own)."""
+        return self._backend if backend is None else get_backend(backend)
+
+    def _workspace(self) -> Workspace:
+        """The calling thread's reusable sweep workspace."""
+        workspace = getattr(self._ws_local, "workspace", None)
+        if workspace is None:
+            workspace = Workspace()
+            self._ws_local.workspace = workspace
+            with self._ws_lock:
+                self._ws_all.append(workspace)
+        return workspace
+
+    def workspace_counters(self) -> Tuple[int, int, int]:
+        """Aggregated ``(reuses, grows, peak_bytes)`` over all threads'
+        sweep workspaces (peak is the max, the others sum)."""
+        with self._ws_lock:
+            reuses = sum(ws.reuses for ws in self._ws_all)
+            grows = sum(ws.grows for ws in self._ws_all)
+            peak = max((ws.peak_bytes for ws in self._ws_all), default=0)
+        return reuses, grows, peak
 
     # ------------------------------------------------------------------
     # Single-request paths
@@ -187,10 +234,14 @@ class MappingEngine:
         The request's canonical hash plus the registry's per-scheme
         registration version, so replacing or re-registering a solver
         (``replace=True`` / ``unregister``) never serves solutions the
-        old solver computed.
+        old solver computed.  The engine's backend name is part of the
+        key as well: backends are bit-identical by contract, but the
+        memo must never be in a position to *hide* a backend bug, so
+        solutions computed under one backend are not served to an
+        engine configured with another.
         """
         version = self.registry.version(request.scheme)
-        return f"{version}:{request.cache_key}"
+        return f"{self._backend.name}:{version}:{request.cache_key}"
 
     def _timed_solve(self, request: MappingRequest,
                      key: str) -> Tuple[MappingSolution, float]:
@@ -363,7 +414,9 @@ class MappingEngine:
                 and self.BATCHABLE in self.registry.get(scheme).capabilities)
 
     def network_sweep(self, network: Iterable[ConvLayer],
-                      scheme: str = "vw-sdk") -> Optional[NetworkLattice]:
+                      scheme: str = "vw-sdk",
+                      backend: Union[str, Backend, None] = None
+                      ) -> Optional[NetworkLattice]:
         """The memoized batched lattice for *network*, or ``None``.
 
         *network* is any iterable of :class:`ConvLayer` (a
@@ -372,7 +425,9 @@ class MappingEngine:
         analytical form (or its solver was replaced in the registry)
         and callers must take the memoized :meth:`map_batch` path
         instead.  Lattices are keyed by the per-layer geometry
-        sequence, so equal-shape networks share one.
+        sequence plus the resolved backend name (*backend* overrides
+        the engine's own for this request), so equal-shape networks
+        share one per backend.
 
         >>> engine = MappingEngine()
         >>> from repro.networks import resnet18
@@ -384,10 +439,12 @@ class MappingEngine:
         self.registry.solver(scheme)  # fail fast on unknown names
         if not self._batchable(scheme):
             return None
+        be = self._resolve_backend(backend)
         layers = tuple(network)
-        key = (scheme, NetworkLattice.geometry_key(layers))
+        key = (scheme, NetworkLattice.geometry_key(layers), be.name)
         return self._sweeps.get_or_compute(
-            key, lambda: NetworkLattice.for_network(layers, scheme))
+            key, lambda: NetworkLattice.for_network(layers, scheme,
+                                                    backend=be))
 
     def network_cycles(self, network: Iterable[ConvLayer], array: PIMArray,
                        scheme: str = "vw-sdk") -> int:
@@ -415,12 +472,16 @@ class MappingEngine:
 
     def sweep_cycles(self, network: Iterable[ConvLayer],
                      arrays: Sequence[PIMArray],
-                     scheme: str = "vw-sdk") -> np.ndarray:
+                     scheme: str = "vw-sdk",
+                     backend: Union[str, Backend, None] = None) -> np.ndarray:
         """Total network cycles for *many* candidate arrays: ``(A,)``.
 
         The batchable schemes answer the whole sweep in one vectorized
-        :meth:`NetworkLattice.cycles_for` call; the fallback resolves
-        each array through the memoized batch path.
+        :meth:`NetworkLattice.cycles_for` call — run on the engine's
+        backend (or the per-request *backend* override) with the
+        calling thread's reusable workspace, so probing a large
+        candidate grid allocates no per-probe temporaries; the
+        fallback resolves each array through the memoized batch path.
 
         >>> engine = MappingEngine()
         >>> from repro.networks import resnet18
@@ -430,9 +491,11 @@ class MappingEngine:
         """
         layers = tuple(network)
         arrays = list(arrays)
-        sweep = self.network_sweep(layers, scheme)
+        sweep = self.network_sweep(layers, scheme, backend)
         if sweep is not None:
-            return sweep.cycles_for(arrays)
+            return sweep.cycles_for(arrays,
+                                    backend=self._resolve_backend(backend),
+                                    workspace=self._workspace())
         return np.asarray([self.network_cycles(layers, array, scheme)
                            for array in arrays], dtype=np.int64)
 
@@ -512,8 +575,9 @@ class MappingEngine:
         >>> sweep.bottleneck_cycles.tolist()
         [243, 81, 18]
         """
-        return self.chip_lattice(network, array, scheme,
-                                 cost_params=cost_params).sweep(counts)
+        lattice = self.chip_lattice(network, array, scheme,
+                                    cost_params=cost_params)
+        return lattice.sweep(counts, workspace=self._workspace())
 
     def chip_pareto(self, network: Iterable[ConvLayer],
                     geometries: Optional[Sequence[PIMArray]] = None,
@@ -551,8 +615,13 @@ class MappingEngine:
     # ------------------------------------------------------------------
     @property
     def stats(self) -> CacheSnapshot:
-        """Lifetime cache statistics of this engine."""
-        return self._cache.snapshot()
+        """Lifetime cache statistics of this engine, annotated with the
+        resolved backend name and the aggregated workspace counters."""
+        reuses, grows, peak = self.workspace_counters()
+        return replace(self._cache.snapshot(),
+                       backend=self._backend.name,
+                       workspace_reuses=reuses, workspace_grows=grows,
+                       workspace_peak_bytes=peak)
 
     @property
     def cache_len(self) -> int:
@@ -572,6 +641,7 @@ class MappingEngine:
     def __repr__(self) -> str:  # noqa: D105 - debugging aid
         snap = self.stats
         return (f"MappingEngine(schemes={len(self.registry)}, "
+                f"backend={self._backend.name}, "
                 f"cache={snap.size}/{self._cache.maxsize}, "
                 f"hits={snap.hits}, misses={snap.misses})")
 

@@ -64,12 +64,26 @@ class CacheSnapshot:
 
     ``solver_calls`` counts actual solver executions (== misses);
     ``hits`` counts requests answered from the memoized solutions.
+
+    Engine-level snapshots (:attr:`MappingEngine.stats
+    <repro.api.engine.MappingEngine.stats>`) additionally carry the
+    engine's compute ``backend`` name and its aggregated workspace
+    counters (``workspace_reuses`` / ``workspace_grows`` /
+    ``workspace_peak_bytes`` — see
+    :class:`repro.core.backend.Workspace`).  Batch-scoped snapshots
+    leave ``backend`` as ``None`` and the serialised envelope then
+    omits the backend/workspace keys, so pre-existing JSON consumers
+    see byte-identical output.
     """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     size: int = 0
+    backend: Optional[str] = None
+    workspace_reuses: int = 0
+    workspace_grows: int = 0
+    workspace_peak_bytes: int = 0
 
     @property
     def solver_calls(self) -> int:
@@ -87,16 +101,28 @@ class CacheSnapshot:
         return self.hits / self.requests if self.requests else 0.0
 
     def to_dict(self) -> Dict[str, object]:
-        """JSON-serialisable form."""
-        return {"hits": self.hits, "misses": self.misses,
-                "evictions": self.evictions, "size": self.size}
+        """JSON-serialisable form (backend keys only when present)."""
+        data: Dict[str, object] = {
+            "hits": self.hits, "misses": self.misses,
+            "evictions": self.evictions, "size": self.size}
+        if self.backend is not None:
+            data["backend"] = self.backend
+            data["workspace"] = {"reuses": self.workspace_reuses,
+                                 "grows": self.workspace_grows,
+                                 "peak_bytes": self.workspace_peak_bytes}
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "CacheSnapshot":
         """Inverse of :meth:`to_dict`."""
+        workspace = data.get("workspace", {})
         return cls(hits=data.get("hits", 0), misses=data.get("misses", 0),
                    evictions=data.get("evictions", 0),
-                   size=data.get("size", 0))
+                   size=data.get("size", 0),
+                   backend=data.get("backend"),
+                   workspace_reuses=workspace.get("reuses", 0),
+                   workspace_grows=workspace.get("grows", 0),
+                   workspace_peak_bytes=workspace.get("peak_bytes", 0))
 
     def __str__(self) -> str:  # noqa: D105 - log line
         return (f"{self.hits} hits / {self.misses} misses "

@@ -56,6 +56,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tupl
 
 import numpy as np
 
+from ..core.backend import Workspace
 from ..core.cache import frozen_arrays
 from ..core.cost import CostParams, cost_report
 from ..core.lattice import INFEASIBLE
@@ -284,23 +285,27 @@ class ChipLattice:
                 [cost_report(s, cost_params).compute_energy_nj
                  for s in solutions], dtype=np.float64)
 
-        latencies: List[int] = []
-        stages: List[int] = []
-        costs: List[int] = []
-        counts: List[int] = []
-        ks: List[int] = []
-        for stage, positions in enumerate(n_pw.tolist()):
-            for latency, k, count in _stage_staircase(positions):
-                latencies.append(latency)
-                stages.append(stage)
-                costs.append(int(step[stage]))
-                counts.append(count)
-                ks.append(k)
-        lat_v = np.asarray(latencies, dtype=np.int64)
-        stage_v = np.asarray(stages, dtype=np.int64)
-        cost_v = np.asarray(costs, dtype=np.int64)
-        count_v = np.asarray(counts, dtype=np.int64)
-        k_v = np.asarray(ks, dtype=np.int64)
+        # Preallocated staircase vectors (not workspace-backed: these
+        # become frozen cache residents, so they must own fresh
+        # storage).  Sizing first kills the old per-run list-append +
+        # asarray churn without touching the values.
+        staircases = [_stage_staircase(p) for p in n_pw.tolist()]
+        total = sum(len(runs) for runs in staircases)
+        lat_v = np.empty(total, dtype=np.int64)
+        stage_v = np.empty(total, dtype=np.int64)
+        cost_v = np.empty(total, dtype=np.int64)
+        count_v = np.empty(total, dtype=np.int64)
+        k_v = np.empty(total, dtype=np.int64)
+        step_list = step.tolist()
+        pos = 0
+        for stage, runs in enumerate(staircases):
+            for latency, k, count in runs:
+                lat_v[pos] = latency
+                stage_v[pos] = stage
+                cost_v[pos] = step_list[stage]
+                count_v[pos] = count
+                k_v[pos] = k
+                pos += 1
         # Greedy consideration order: latency desc, stage asc, k asc.
         order = np.lexsort((k_v, stage_v, -lat_v))
         stage_v, cost_v = stage_v[order], cost_v[order]
@@ -370,16 +375,22 @@ class ChipLattice:
     # ------------------------------------------------------------------
     # Vectorized replay (probe grids)
     # ------------------------------------------------------------------
-    def replicas_for(self, counts: Sequence[int]) -> np.ndarray:
+    def replicas_for(self, counts: Sequence[int],
+                     workspace: Optional[Workspace] = None) -> np.ndarray:
         """Final greedy replica counts per probe and stage: ``(A, S)``.
 
         Infeasible probes (budget below :attr:`floor_arrays`) report
         one replica per stage; mask them with ``counts >= floor``.
+        The returned array is always freshly allocated (callers may
+        keep it); only the aliveness scratch borrows from *workspace*.
         """
         counts = np.asarray(list(counts), dtype=np.int64)
         budget = np.maximum(counts - self.floor_arrays, 0)
         replicas = np.ones((counts.size, self.num_stages), dtype=np.int64)
-        alive = np.ones_like(replicas, dtype=bool)
+        ws = workspace if workspace is not None else Workspace()
+        mark = ws.mark()
+        alive = ws.borrow(replicas.shape, np.bool_)
+        alive[:] = True
         stages = self.group_stage.tolist()
         costs = self.group_cost.tolist()
         group_counts = self.group_count.tolist()
@@ -391,15 +402,20 @@ class ChipLattice:
             budget -= take * cost
             # The greedy drops a stage at its first unaffordable step.
             alive[:, stage] = live & (take == count)
+        ws.release(mark)
         return replicas
 
-    def sweep(self, counts: Sequence[int]) -> ChipSweep:
+    def sweep(self, counts: Sequence[int],
+              workspace: Optional[Workspace] = None) -> ChipSweep:
         """Greedy outcomes for a whole vector of array counts.
 
         One scan over the merged groups, every probe advanced as NumPy
         vectors — bit-identical per probe to
         :func:`~repro.chip.pipeline.plan_pipeline` on the same
-        solutions.
+        solutions.  The ``(A, S)`` sweep temporaries borrow from
+        *workspace* when given (one arena serves a whole probe-grid
+        study); the returned :class:`ChipSweep` vectors are always
+        fresh allocations.
 
         >>> from repro.core import PIMArray
         >>> from repro.networks import resnet18
@@ -408,12 +424,24 @@ class ChipLattice:
         [False, True]
         """
         counts = np.asarray(list(counts), dtype=np.int64)
-        replicas = self.replicas_for(counts)
-        latency = -(-self.n_pw[None, :] // replicas)
+        ws = workspace if workspace is not None else Workspace()
+        replicas = self.replicas_for(counts, ws)
+        mark = ws.mark()
+        scratch = ws.borrow(replicas.shape, np.int64)
+        latency = ws.borrow(replicas.shape, np.int64)
+        np.floor_divide(np.negative(self.n_pw[None, :]), replicas,
+                        out=latency)
+        np.negative(latency, out=latency)
         feasible = counts >= self.floor_arrays
-        spent = ((replicas - 1) * self.step[None, :]).sum(axis=1)
+        np.subtract(replicas, 1, out=scratch)
+        np.multiply(scratch, self.step[None, :], out=scratch)
+        spent = scratch.sum(axis=1)
         bottleneck = np.where(feasible, latency.max(axis=1), INFEASIBLE)
-        cells = (replicas * (self.step * self.cells)[None, :]).sum(axis=1)
+        np.multiply(replicas, (self.step * self.cells)[None, :],
+                    out=scratch)
+        cells = scratch.sum(axis=1)
+        fill = latency.sum(axis=1)
+        ws.release(mark)
         energy_v = latency_v = None
         if self.cost_params is not None:
             energy_v = np.where(feasible, self.total_energy_nj, np.nan)
@@ -425,8 +453,7 @@ class ChipLattice:
             num_arrays=counts,
             feasible=feasible,
             bottleneck_cycles=bottleneck,
-            fill_latency_cycles=np.where(feasible, latency.sum(axis=1),
-                                         INFEASIBLE),
+            fill_latency_cycles=np.where(feasible, fill, INFEASIBLE),
             arrays_used=np.where(feasible, self.floor_arrays + spent, 0),
             cells_used=np.where(feasible, cells, 0),
             energy_nj=energy_v,

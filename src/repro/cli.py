@@ -115,6 +115,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_front.add_argument("--sides", default=None,
                          help="comma-separated side lengths overriding "
                               "the default ladder")
+    p_front.add_argument("--backend", default="auto",
+                         choices=("auto", "numpy", "numba"),
+                         help="lattice compute backend (auto = numba "
+                              "when installed, else numpy)")
 
     p_chip = sub.add_parser(
         "chip", help="weight-resident pipelines on many arrays")
@@ -139,6 +143,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "floor in 32 steps)")
     p_sweep.add_argument("--scheme", default="vw-sdk",
                          choices=sorted(SCHEMES))
+    p_sweep.add_argument("--backend", default="auto",
+                         choices=("auto", "numpy", "numba"),
+                         help="lattice compute backend (auto = numba "
+                              "when installed, else numpy)")
     p_pareto = chip_sub.add_parser(
         "pareto", help="cells/energy/latency chip deployment frontier")
     p_pareto.add_argument("name", help="zoo network, e.g. resnet18")
@@ -161,7 +169,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_pareto.add_argument("--target-bottleneck", type=int, default=None,
                           help="keep only plans meeting this "
                                "steady-state cycle target")
+    p_pareto.add_argument("--backend", default="auto",
+                          choices=("auto", "numpy", "numba"),
+                          help="lattice compute backend (auto = numba "
+                               "when installed, else numpy)")
     return parser
+
+
+def _engine_for(backend: str):
+    """The engine serving a ``--backend`` choice.
+
+    ``auto`` keeps the process-wide shared engine (warm memos); an
+    explicit backend gets a dedicated engine so its name lands in every
+    memo key and in ``stats``.  An impossible choice (``numba`` without
+    numba installed) exits with the resolver's message instead of
+    failing mid-sweep.
+    """
+    if backend == "auto":
+        return default_engine()
+    from .api import MappingEngine
+    from .core import ConfigurationError
+    try:
+        return MappingEngine(backend=backend)
+    except ConfigurationError as error:
+        raise SystemExit(f"--backend: {error}") from None
 
 
 def _layer_from_args(args: argparse.Namespace) -> ConvLayer:
@@ -284,7 +315,8 @@ def _cmd_dse(args: argparse.Namespace) -> int:
         raise SystemExit(f"dse sweep: {error}") from None
     front = array_pareto(network, scheme=args.scheme,
                          max_cells=args.max_cells, sides=sides,
-                         square_only=not args.non_square)
+                         square_only=not args.non_square,
+                         engine=_engine_for(args.backend))
     shape = "non-square" if args.non_square else "square"
     rows = [{"array": str(p.array), "cells": p.cells, "cycles": p.cycles}
             for p in front]
@@ -317,7 +349,7 @@ def _cmd_chip(args: argparse.Namespace) -> int:
 def _cmd_chip_sweep(args: argparse.Namespace) -> int:
     network = get_network(args.name)
     array = PIMArray.parse(args.array)
-    engine = default_engine()
+    engine = _engine_for(args.backend)
     lattice = engine.chip_lattice(network, array, args.scheme)
     floor = lattice.floor_arrays
     if args.counts:
@@ -370,7 +402,8 @@ def _cmd_chip_pareto(args: argparse.Namespace) -> int:
                             cost_params=cost_params,
                             max_cells=args.max_cells, sides=sides,
                             max_arrays=args.max_arrays,
-                            target_bottleneck=args.target_bottleneck)
+                            target_bottleneck=args.target_bottleneck,
+                            engine=_engine_for(args.backend))
     except (InfeasibleTargetError, ConfigurationError) as error:
         # ConfigurationError covers e.g. --sides entries that all
         # exceed --max-cells (an empty candidate pool).

@@ -10,9 +10,20 @@ Public surface:
 * :mod:`repro.core.utilization` — eq. 9 (used-cell fractions).
 * :mod:`repro.core.cost` — latency/energy on top of cycles.
 * :mod:`repro.core.strided` — stride/padding generalisation (extension).
+* :mod:`repro.core.backend` — pluggable compute backends (numpy
+  reference / optional numba JIT), minimized dtypes and workspaces.
 """
 
 from .array import PAPER_ARRAY_SIZES, PIMArray
+from .backend import (
+    HAVE_NUMBA,
+    Backend,
+    NumbaBackend,
+    NumpyBackend,
+    Workspace,
+    get_backend,
+    minimal_dtype,
+)
 from .cycles import (
     CycleBreakdown,
     ac_cycles,
@@ -78,6 +89,13 @@ __all__ = [
     "strided_lattice",
     "NetworkLattice",
     "network_lattice",
+    "Backend",
+    "NumpyBackend",
+    "NumbaBackend",
+    "Workspace",
+    "get_backend",
+    "minimal_dtype",
+    "HAVE_NUMBA",
     "TileUsage",
     "UtilizationReport",
     "utilization_report",

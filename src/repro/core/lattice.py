@@ -63,11 +63,12 @@ first-found tie-breaking is a single flat ``argmin`` — see
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
 from .array import PIMArray
+from .backend import Backend, get_backend, minimal_dtype
 from .cache import LRUMemo, frozen_arrays
 from .cycles import CycleBreakdown
 from .layer import ConvLayer
@@ -86,8 +87,12 @@ INFEASIBLE: int = np.iinfo(np.int64).max
 class CycleLattice:
     """Eqs. 1-8 evaluated over the whole parallel-window grid.
 
-    All 2-D arrays share the shape ``(len(nw_h), len(nw_w))`` and dtype
-    ``int64``; see the module docstring for the axis/equation map.
+    All 2-D arrays share the shape ``(len(nw_h), len(nw_w))`` and the
+    smallest integer dtype a closed-form bound proves safe
+    (:func:`repro.core.backend.minimal_dtype` — ``int64`` whenever the
+    bound demands it); values are bit-identical either way.  The 1-D
+    axis vectors stay ``int64``.  See the module docstring for the
+    axis/equation map.
     """
 
     layer: ConvLayer
@@ -160,10 +165,14 @@ class CycleLattice:
 
         ``mask`` (optional, bool) further restricts eligibility beyond
         the feasibility mask — the subspace hook used by
-        :class:`repro.search.space.CandidateSpace`.
+        :class:`repro.search.space.CandidateSpace`.  Always int64: the
+        sentinel does not fit the minimized cycle dtypes, so the grid
+        is widened before masking — ``INFEASIBLE`` semantics are
+        dtype-independent.
         """
         eligible = self.feasible if mask is None else (self.feasible & mask)
-        return np.where(eligible, self.cycles, INFEASIBLE)
+        return np.where(eligible, self.cycles.astype(np.int64, copy=False),
+                        INFEASIBLE)
 
     # ------------------------------------------------------------------
     # Vectorized utilization (paper eq. 9, whole-channel tiling)
@@ -236,33 +245,44 @@ class LayerLattice:
         """Grid shape ``(heights, widths)``."""
         return self.area.shape
 
-    def with_array(self, array: PIMArray) -> CycleLattice:
+    def finish_dtype(self, array: PIMArray) -> np.dtype:
+        """The smallest dtype proven safe for eqs. 4-8 on *array*.
+
+        The bound covers every operand and intermediate: cycles
+        (eq. 8) are at most ``max(n_pw) * IC * OC`` (``AR <= IC`` and
+        ``AC <= OC``), the integer-divide intermediates at most the
+        array dims, and the grid operands at most their own maxima.
+        Crossing the int32 range — e.g. a 224x224 layer with 512x512
+        channels — widens the whole computation back to int64.
+        """
+        layer = self.layer
+        bound = max(
+            int(self.n_pw.max()) * layer.in_channels * layer.out_channels,
+            int(self.area.max()), int(self.windows.max()),
+            array.rows, array.cols)
+        return minimal_dtype(bound)
+
+    def with_array(self, array: PIMArray,
+                   backend: Union[str, Backend, None] = None
+                   ) -> CycleLattice:
         """Finish the lattice for *array*: eqs. 4-8 plus feasibility.
 
         Bit-identical to evaluating the full grid from scratch — the
-        shared grids carry everything else.
+        shared grids carry everything else.  *backend* selects the
+        compute backend (default: the process ``"auto"`` resolution);
+        every backend produces identical values, in the
+        :meth:`finish_dtype` minimized dtype.
         """
         layer = self.layer
-        ic_per_array = array.rows // self.area              # eq. 4 (floor)
-        oc_per_array = array.cols // self.windows           # eq. 6 (floor)
-        feasible = self.fits_ifm & (ic_per_array >= 1) & (oc_per_array >= 1)
-
-        ic_t = np.minimum(ic_per_array, layer.in_channels)  # eq. 4 (cap)
-        oc_t = np.minimum(oc_per_array, layer.out_channels)  # eq. 6 (cap)
-        ar = -(-layer.in_channels // np.maximum(ic_t, 1))   # eq. 5
-        ac = -(-layer.out_channels // np.maximum(oc_t, 1))  # eq. 7
-        cycles = self.n_pw * ar * ac                        # eq. 8
-
-        zero = np.int64(0)
+        be = get_backend("auto" if backend is None else backend)
+        feasible, ic_t, oc_t, ar, ac, n_pw, cycles = be.finish(
+            self.area, self.windows, self.n_pw, self.fits_ifm,
+            array.rows, array.cols, layer.in_channels, layer.out_channels,
+            self.finish_dtype(array))
         return CycleLattice(
             layer=layer, array=array, nw_h=self.nw_h, nw_w=self.nw_w,
             pw_h=self.pw_h, pw_w=self.pw_w, feasible=feasible,
-            ic_t=np.where(feasible, ic_t, zero),
-            oc_t=np.where(feasible, oc_t, zero),
-            ar=np.where(feasible, ar, zero),
-            ac=np.where(feasible, ac, zero),
-            n_pw=np.where(feasible, self.n_pw, zero),
-            cycles=np.where(feasible, cycles, zero),
+            ic_t=ic_t, oc_t=oc_t, ar=ar, ac=ac, n_pw=n_pw, cycles=cycles,
         )
 
 
@@ -273,13 +293,26 @@ def _geometry_key(layer: ConvLayer) -> Tuple[int, ...]:
             layer.padding)
 
 
+def _minimized(grid: np.ndarray) -> np.ndarray:
+    """*grid* downcast to the smallest dtype its actual maximum allows.
+
+    Values are unchanged (the downcast is exact by construction) and
+    grids that genuinely need int64 keep it — this is the memory-lean
+    storage half of the dtype-minimization story; compute dtypes are
+    re-derived per call from closed-form bounds.
+    """
+    return grid.astype(minimal_dtype(int(grid.max())), copy=False)
+
+
 def _compute_layer_grids(layer: ConvLayer) -> Tuple[np.ndarray, ...]:
     """Evaluate the array-independent grids for *layer*.
 
     Works for any stride: windows are counted in window-index space
     (``nw`` consecutive kernel windows span ``K + (nw-1)*stride``
     pixels), which reduces exactly to the paper's pixel-space grid at
-    stride 1.
+    stride 1.  The 2-D grids are stored dtype-minimized; the 1-D axis
+    vectors stay int64 (they feed int64 tie-break reductions
+    downstream and cost nothing).
     """
     nw_h = np.arange(1, layer.ofm_h + 1, dtype=np.int64)
     nw_w = np.arange(1, layer.ofm_w + 1, dtype=np.int64)
@@ -293,7 +326,8 @@ def _compute_layer_grids(layer: ConvLayer) -> Tuple[np.ndarray, ...]:
     fits_ifm = ((pw_h[:, None] <= layer.padded_ifm_h)
                 & (pw_w[None, :] <= layer.padded_ifm_w))
 
-    grids = (nw_h, nw_w, pw_h, pw_w, area, windows, n_pw, fits_ifm)
+    grids = (nw_h, nw_w, pw_h, pw_w, _minimized(area),
+             _minimized(windows), _minimized(n_pw), fits_ifm)
     frozen_arrays(grids)  # shared across cached lattices
     return grids
 

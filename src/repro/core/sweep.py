@@ -49,16 +49,16 @@ engine path for the rest.
 
 from __future__ import annotations
 
-import bisect
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from .array import PIMArray
+from .backend import Backend, Workspace, get_backend, minimal_dtype
 from .cache import LRUMemo, freeze_arrays
 from .layer import ConvLayer
-from .lattice import INFEASIBLE, _geometry_key, layer_lattice
+from .lattice import _geometry_key, _minimized, layer_lattice
 from .types import ConfigurationError
 
 __all__ = ["NetworkLattice", "network_lattice"]
@@ -72,59 +72,33 @@ def _as_int_vector(values: Iterable[int]) -> np.ndarray:
     return np.asarray(list(values), dtype=np.int64)
 
 
-def _front_indices(n_pw: np.ndarray, area: np.ndarray,
-                   windows: np.ndarray) -> np.ndarray:
-    """Indices of the 3-D Pareto front of ``(n_pw, area, windows)``.
-
-    A cell dominated in all three coordinates (equality allowed, at
-    least one strict) can never be the eq. 8 minimum on any array, so
-    only front cells survive into the batched sweep.  Skyline scan in
-    ``(n_pw, area, windows)`` lexicographic order: kept cells seen so
-    far all have ``n_pw <=`` the candidate's, so a staircase over
-    ``(area, windows)`` answers the dominance test in ``O(log front)``.
-    """
-    order = np.lexsort((windows, area, n_pw))
-    keep: List[int] = []
-    sky_area: List[int] = []     # strictly increasing
-    sky_windows: List[int] = []  # strictly decreasing
-    for flat in order:
-        a, w = int(area[flat]), int(windows[flat])
-        pos = bisect.bisect_right(sky_area, a)
-        if pos and sky_windows[pos - 1] <= w:
-            continue  # dominated (exact duplicates collapse here too)
-        keep.append(int(flat))
-        # Insert and drop staircase entries the new cell makes
-        # redundant *as dominance witnesses* (they stay kept).
-        lo = bisect.bisect_left(sky_area, a)
-        hi = lo
-        while hi < len(sky_area) and sky_windows[hi] >= w:
-            hi += 1
-        sky_area[lo:hi] = [a]
-        sky_windows[lo:hi] = [w]
-    return np.asarray(sorted(keep), dtype=np.int64)
-
-
-#: Front-index memo keyed by the channel-free grid geometry — the
-#: dominance argument holds for every (IC, OC), so layers differing
-#: only in channels share one front.
+#: Front-index memo keyed by the channel-free grid geometry plus the
+#: backend name — the dominance argument holds for every (IC, OC), so
+#: layers differing only in channels share one front; backends produce
+#: bit-identical fronts, but keying them separately keeps every cached
+#: artifact attributable to the backend that built it.
 _FRONT_MEMO: LRUMemo = LRUMemo(maxsize=64)
 
 
-def _compute_window_front(layer: ConvLayer) -> np.ndarray:
+def _compute_window_front(layer: ConvLayer, backend: Backend) -> np.ndarray:
     grids = layer_lattice(layer)
     ok = grids.fits_ifm.ravel().copy()
     ok[0] = False  # the kernel-sized cell: im2col covers it
     candidates = np.flatnonzero(ok)
     if candidates.size:
-        local = _front_indices(grids.n_pw.ravel()[candidates],
-                               grids.area.ravel()[candidates],
-                               grids.windows.ravel()[candidates])
+        # The 3-D dominance prune: a cell dominated in all of
+        # (n_pw, area, windows) — equality allowed, at least one
+        # strict — can never be the eq. 8 minimum on any array, so
+        # only front cells survive into the batched sweep.
+        local = backend.front_indices(grids.n_pw.ravel()[candidates],
+                                      grids.area.ravel()[candidates],
+                                      grids.windows.ravel()[candidates])
         candidates = candidates[local]
     freeze_arrays(candidates)
     return candidates
 
 
-def _window_front(layer: ConvLayer) -> np.ndarray:
+def _window_front(layer: ConvLayer, backend: Backend) -> np.ndarray:
     """Cached flat indices of *layer*'s candidate-window Pareto front.
 
     Indices point into the row-major flattened window grid; the
@@ -132,9 +106,9 @@ def _window_front(layer: ConvLayer) -> np.ndarray:
     IFM are excluded up front (Algorithm 1's candidate space).
     """
     key = (layer.ifm_h, layer.ifm_w, layer.kernel_h, layer.kernel_w,
-           layer.stride, layer.padding)
+           layer.stride, layer.padding, backend.name)
     return _FRONT_MEMO.get_or_compute(
-        key, lambda: _compute_window_front(layer))
+        key, lambda: _compute_window_front(layer, backend))
 
 
 @dataclass(frozen=True)
@@ -210,12 +184,16 @@ class NetworkLattice:
 
     @classmethod
     def for_network(cls, network: Iterable[ConvLayer],
-                    scheme: str = "vw-sdk") -> "NetworkLattice":
+                    scheme: str = "vw-sdk",
+                    backend: Union[str, Backend, None] = None
+                    ) -> "NetworkLattice":
         """Stack *network*'s distinct layer geometries for *scheme*.
 
         *network* is any iterable of :class:`ConvLayer` (a
-        :class:`repro.networks.Network` included).  Raises
-        :class:`ConfigurationError` for schemes outside
+        :class:`repro.networks.Network` included).  *backend* selects
+        the compute backend for the dominance prunes (bit-identical
+        across backends; default the process ``"auto"`` resolution).
+        Raises :class:`ConfigurationError` for schemes outside
         :data:`SUPPORTED` — callers should fall back to the engine.
 
         >>> layers = [ConvLayer.square(14, 3, 256, 256)] * 2
@@ -228,6 +206,7 @@ class NetworkLattice:
             raise ConfigurationError(
                 f"NetworkLattice supports {cls.SUPPORTED}, got {scheme!r}; "
                 f"use the MappingEngine batch path instead")
+        be = get_backend("auto" if backend is None else backend)
         layers = tuple(network)
         if not layers:
             raise ConfigurationError("NetworkLattice needs >= 1 layer")
@@ -257,7 +236,7 @@ class NetworkLattice:
         for index, layer in enumerate(rep):
             if scheme != "vw-sdk" or layer.stride != 1:
                 continue  # solve() answers these with im2col alone
-            front = _window_front(layer)
+            front = _window_front(layer, be)
             if not front.size:
                 continue  # kernel-only grid: im2col is the whole space
             grids = layer_lattice(layer)
@@ -273,9 +252,13 @@ class NetworkLattice:
             offset += front.size
 
         def cat(parts: List[np.ndarray]) -> np.ndarray:
+            # Mixed storage dtypes promote on concatenation; the flat
+            # vectors are then re-minimized by their actual maxima
+            # (values unchanged — the memory-lean storage form).
             if not parts:
                 return np.empty(0, dtype=np.int64)
-            return np.concatenate(parts)
+            return _minimized(np.concatenate(
+                [part.astype(np.int64, copy=False) for part in parts]))
 
         return cls(
             layers=layers, scheme=scheme, layer_geo=geo_idx, counts=counts,
@@ -313,35 +296,47 @@ class NetworkLattice:
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
-    def _geo_cycles(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    def sweep_dtype(self, rows: np.ndarray, cols: np.ndarray) -> np.dtype:
+        """The smallest dtype proven safe for a sweep over these arrays.
+
+        The bound covers every operand and intermediate of the batched
+        evaluation: the eq. 1 incumbent is at most
+        ``max(n_win) * max(im2col_rows) * max(oc)`` (``AR`` cannot
+        exceed the row demand, ``AC`` cannot exceed ``OC``), a window
+        cell at most ``max(n_pw) * max(IC) * max(OC)`` over the flat
+        front, and the divide intermediates at most the array dims or
+        the stored vectors themselves.  A network or probe grid that
+        crosses the int32 range widens the whole sweep back to int64 —
+        values are bit-identical either way.
+        """
+        bound = max(int(self.n_win.max()) * int(self.im2col_rows.max())
+                    * int(self.oc.max()),
+                    int(rows.max()), int(cols.max()))
+        if self.area_f.size:
+            bound = max(bound,
+                        int(self.n_pw_f.max()) * int(self.ic_f.max())
+                        * int(self.oc_f.max()),
+                        int(self.area_f.max()), int(self.windows_f.max()))
+        return minimal_dtype(bound)
+
+    def _geo_cycles(self, rows: np.ndarray, cols: np.ndarray,
+                    backend: Union[str, Backend, None] = None,
+                    workspace: Optional[Workspace] = None) -> np.ndarray:
         """Per-(array, geometry) solved cycle counts: ``(A, G)`` int64.
 
         Matches ``solve(layer, array, scheme).cycles`` cell for cell:
         the eq. 1 im2col count, improved by the best feasible window of
         the stride-1 grid when the scheme searches (strict-vs-non-strict
-        improvement cannot change a minimum).
+        improvement cannot change a minimum).  Evaluation runs on the
+        selected backend in the :meth:`sweep_dtype` minimized dtype;
+        scratch comes from *workspace* when given.
         """
-        r = rows[:, None]
-        c = cols[:, None]
-        ar = -(-self.im2col_rows[None, :] // r)             # eq. 1
-        ac = -(-self.oc[None, :] // np.minimum(c, self.oc[None, :]))
-        best = self.n_win[None, :] * ar * ac                # (A, G)
-
-        if self.area_f.size:
-            ic_per = r // self.area_f[None, :]              # eq. 4 (floor)
-            oc_per = c // self.windows_f[None, :]           # eq. 6 (floor)
-            feasible = (ic_per >= 1) & (oc_per >= 1)
-            ic_t = np.minimum(ic_per, self.ic_f[None, :])   # eq. 4 (cap)
-            oc_t = np.minimum(oc_per, self.oc_f[None, :])   # eq. 6 (cap)
-            war = -(-self.ic_f[None, :] // np.maximum(ic_t, 1))   # eq. 5
-            wac = -(-self.oc_f[None, :] // np.maximum(oc_t, 1))   # eq. 7
-            cycles = np.where(feasible,
-                              self.n_pw_f[None, :] * war * wac,   # eq. 8
-                              INFEASIBLE)
-            seg_best = np.minimum.reduceat(cycles, self.seg_starts, axis=1)
-            best[:, self.seg_geo] = np.minimum(best[:, self.seg_geo],
-                                               seg_best)
-        return best
+        be = get_backend("auto" if backend is None else backend)
+        return be.geo_cycles(
+            rows, cols, self.n_win, self.im2col_rows, self.oc,
+            self.area_f, self.windows_f, self.n_pw_f, self.ic_f,
+            self.oc_f, self.seg_starts, self.seg_geo,
+            self.sweep_dtype(rows, cols), workspace)
 
     def _rows_cols(self, arrays: Sequence[PIMArray]
                    ) -> Tuple[np.ndarray, np.ndarray]:
@@ -349,7 +344,8 @@ class NetworkLattice:
         cols = _as_int_vector(a.cols for a in arrays)
         return rows, cols
 
-    def layer_cycles(self, array: PIMArray) -> np.ndarray:
+    def layer_cycles(self, array: PIMArray,
+                     backend: Union[str, Backend, None] = None) -> np.ndarray:
         """Solved cycles per network layer on *array*: ``(L,)`` int64.
 
         >>> layers = [ConvLayer.square(14, 3, 256, 256)] * 2
@@ -357,10 +353,11 @@ class NetworkLattice:
         >>> lat.layer_cycles(PIMArray.square(512)).tolist()
         [504, 504]
         """
-        geo = self._geo_cycles(*self._rows_cols([array]))[0]
+        geo = self._geo_cycles(*self._rows_cols([array]), backend)[0]
         return geo[self.layer_geo]
 
-    def network_cycles(self, array: PIMArray) -> int:
+    def network_cycles(self, array: PIMArray,
+                       backend: Union[str, Backend, None] = None) -> int:
         """Total network cycles on *array* (distinct layers summed once
         per occurrence, like ``dse.network_cycles``).
 
@@ -369,14 +366,19 @@ class NetworkLattice:
         >>> lat.network_cycles(PIMArray.square(512))
         504
         """
-        geo = self._geo_cycles(*self._rows_cols([array]))[0]
+        geo = self._geo_cycles(*self._rows_cols([array]), backend)[0]
         return int(geo @ self.counts)
 
-    def cycles_for(self, arrays: Sequence[PIMArray]) -> np.ndarray:
+    def cycles_for(self, arrays: Sequence[PIMArray],
+                   backend: Union[str, Backend, None] = None,
+                   workspace: Optional[Workspace] = None) -> np.ndarray:
         """Total network cycles for *many* arrays: ``(A,)`` int64.
 
         One vectorized evaluation over the shared flat grids, chunked
         so no more than ~2M ``array x cell`` entries are live at once.
+        Chunks reuse one :class:`~repro.core.backend.Workspace` (the
+        caller's, or a private throwaway), so a sweep allocates its
+        scratch once, not per chunk.
 
         >>> lat = NetworkLattice.for_network(
         ...     [ConvLayer.square(14, 3, 256, 256)])
@@ -387,22 +389,27 @@ class NetworkLattice:
         arrays = list(arrays)
         if not arrays:
             return np.empty(0, dtype=np.int64)
+        be = get_backend("auto" if backend is None else backend)
+        ws = workspace if workspace is not None else Workspace()
         rows, cols = self._rows_cols(arrays)
         chunk = max(1, _CHUNK_CELLS // max(self.num_cells, 1))
         totals = np.empty(len(arrays), dtype=np.int64)
         for start in range(0, len(arrays), chunk):
             stop = start + chunk
-            geo = self._geo_cycles(rows[start:stop], cols[start:stop])
+            geo = self._geo_cycles(rows[start:stop], cols[start:stop],
+                                   be, ws)
             totals[start:stop] = geo @ self.counts
         return totals
 
 
 def network_lattice(network: Iterable[ConvLayer],
-                    scheme: str = "vw-sdk") -> NetworkLattice:
+                    scheme: str = "vw-sdk",
+                    backend: Union[str, Backend, None] = None
+                    ) -> NetworkLattice:
     """Convenience alias for :meth:`NetworkLattice.for_network`.
 
     >>> lat = network_lattice([ConvLayer.square(14, 3, 256, 256)])
     >>> lat.network_cycles(PIMArray.square(512))
     504
     """
-    return NetworkLattice.for_network(network, scheme)
+    return NetworkLattice.for_network(network, scheme, backend)

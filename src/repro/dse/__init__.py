@@ -6,7 +6,9 @@ All entry points share the batched lattices exposed by the
 geometry, and array-count bisections replay one precomputed
 :class:`~repro.chip.sweep.ChipLattice` — instead of re-solving or
 re-planning per probe.  Infeasible targets raise the typed
-:class:`InfeasibleTargetError`.
+:class:`InfeasibleTargetError`.  :func:`zoo_pareto` is the zoo-scale
+entry point: one shared non-square candidate grid swept across every
+model-zoo network on one engine (and one reusable workspace).
 """
 
 from .pareto import (
@@ -19,6 +21,7 @@ from .pareto import (
     chip_pareto,
     pareto_front,
     window_pareto,
+    zoo_pareto,
 )
 from .requirements import (
     InfeasibleTargetError,
@@ -37,6 +40,7 @@ __all__ = [
     "array_pareto",
     "array_candidates",
     "chip_pareto",
+    "zoo_pareto",
     "InfeasibleTargetError",
     "network_cycles",
     "smallest_square_array",

@@ -42,13 +42,15 @@ closed-form breakpoint budgets, and the 3-D minimising front of
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple, TypeVar, Union
+from typing import (Callable, Dict, List, Optional, Sequence, Tuple,
+                    TypeVar, Union)
 
 import numpy as np
 
 from ..api.engine import MappingEngine, default_engine
 from ..chip.pools import PoolPlan, pool_plans
 from ..core.array import PIMArray
+from ..core.backend import Backend
 from ..core.cost import DEFAULT_COST_PARAMS, CostParams
 from ..core.layer import ConvLayer
 from ..core.types import ConfigurationError
@@ -59,7 +61,8 @@ from ..search.result import MappingSolution
 
 __all__ = ["ParetoPoint", "ArrayDesignPoint", "ChipDesignPoint",
            "pareto_front", "window_pareto", "array_pareto",
-           "array_candidates", "chip_pareto", "DEFAULT_SIDES"]
+           "array_candidates", "chip_pareto", "zoo_pareto",
+           "DEFAULT_SIDES"]
 
 #: Default side-length ladder for :func:`array_candidates`: powers of
 #: two from 32 to 1024 interleaved with their 1.5x midpoints — fine
@@ -148,15 +151,19 @@ def array_pareto(network: Network,
                  max_cells: int = 512 * 512,
                  sides: Optional[Sequence[int]] = None,
                  square_only: bool = False,
-                 engine: Optional[MappingEngine] = None
+                 engine: Optional[MappingEngine] = None,
+                 backend: Union[str, Backend, None] = None
                  ) -> List[ArrayDesignPoint]:
     """Cells-vs-cycles frontier of candidate arrays for *network*.
 
     All candidates are evaluated in one batched sweep over the
     network's shared lattice (engine fallback for non-batchable
-    schemes).  Returned points are sorted by cell count ascending /
-    cycles descending; dominated and duplicate-cost candidates are
-    dropped (the cheapest-then-first candidate wins each cell count).
+    schemes); *backend* overrides the engine's compute backend for
+    this sweep (``"numpy"`` / ``"numba"`` / ``"auto"``, all
+    bit-identical).  Returned points are sorted by cell count
+    ascending / cycles descending; dominated and duplicate-cost
+    candidates are dropped (the cheapest-then-first candidate wins
+    each cell count).
 
     When *candidates* is ``None`` they are generated by
     :func:`array_candidates` under the *max_cells* budget —
@@ -175,7 +182,7 @@ def array_pareto(network: Network,
     if candidates is None:
         candidates = array_candidates(max_cells, sides=sides,
                                       square_only=square_only)
-    totals = eng.sweep_cycles(network, candidates, scheme)
+    totals = eng.sweep_cycles(network, candidates, scheme, backend)
     order = sorted(range(len(candidates)),
                    key=lambda k: (candidates[k].cells, int(totals[k])))
     front: List[ArrayDesignPoint] = []
@@ -190,6 +197,44 @@ def array_pareto(network: Network,
         front.append(ArrayDesignPoint(array=candidates[k], cycles=cycles))
         best_cycles, last_cells = cycles, cells
     return front
+
+
+def zoo_pareto(networks: Optional[Sequence[str]] = None,
+               scheme: str = "vw-sdk", *,
+               max_cells: int = 512 * 512,
+               sides: Optional[Sequence[int]] = None,
+               square_only: bool = False,
+               engine: Optional[MappingEngine] = None,
+               backend: Union[str, Backend, None] = None
+               ) -> Dict[str, List[ArrayDesignPoint]]:
+    """Cells-vs-cycles frontiers for the whole model zoo in one pass.
+
+    Generates the non-square :func:`array_candidates` grid **once**
+    under the *max_cells* budget and sweeps every requested zoo entry
+    (all of :data:`repro.networks.zoo.NETWORKS` by default; pass
+    *networks* as a sequence of zoo names to restrict) through it via
+    :func:`array_pareto` on one shared engine.  This is the zoo-scale
+    batched-DSE entry point: each network costs a single vectorized
+    :meth:`~repro.api.engine.MappingEngine.sweep_cycles` call, the
+    dominance-pruned window fronts are memoized per conv *geometry* so
+    the heavy 224x224 VGG stages are pruned once and reused across
+    VGG-11/13/16/19, and all per-array sweep temporaries come from the
+    engine's reusable workspace — no per-probe allocation anywhere in
+    the pass.  Returns an insertion-ordered ``{name: frontier}`` dict.
+
+    >>> fronts = zoo_pareto(["resnet18"], sides=(128, 256, 512),
+    ...                     square_only=True)
+    >>> [point.cycles for point in fronts["resnet18"]]
+    [36310, 10287, 4294]
+    """
+    from ..networks.zoo import NETWORKS, get_network
+    names = list(NETWORKS) if networks is None else list(networks)
+    eng = engine if engine is not None else default_engine()
+    candidates = array_candidates(max_cells, sides=sides,
+                                  square_only=square_only)
+    return {name: array_pareto(get_network(name), candidates, scheme,
+                               engine=eng, backend=backend)
+            for name in names}
 
 
 @dataclass(frozen=True)

@@ -7,4 +7,6 @@ def grids(n):
     area = np.zeros((n, n))  # expect: REP004
     counts = np.array([1, 2, 3])  # expect: REP004
     blank = np.full((n, n), 7)  # expect: REP004
-    return area, counts, blank
+    narrow = np.empty((n, n), dtype=np.int16)  # expect: REP004
+    lossy = np.zeros((n, n), np.float32)  # expect: REP004
+    return area, counts, blank, narrow, lossy

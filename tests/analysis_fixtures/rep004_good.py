@@ -8,4 +8,7 @@ def grids(n):
     counts = np.array([1, 2, 3], dtype=np.int64)
     blank = np.full((n, n), 7, dtype=np.int64)
     alike = np.zeros_like(area)
-    return area, counts, blank, alike
+    minimized = np.empty((n, n), dtype=np.int32)  # sanctioned literal
+    dt = np.dtype(np.int32)  # stand-in for minimal_dtype(bound)
+    bounded = np.zeros((n, n), dtype=dt)  # variable dtype: provenance
+    return area, counts, blank, alike, minimized, bounded
