@@ -1,54 +1,148 @@
 """CI perf-regression guard for the committed ``BENCH_*.json`` artifacts.
 
 Every benchmark artifact asserts a ``floor`` — the minimum speedup its
-optimized path must keep over its baseline.  This script re-validates
+optimized path must keep over its baseline — and optionally a memory
+ceiling and a fault-path ``overhead`` ceiling.  This script re-validates
 each committed artifact against the shared schema (see ``conftest.py``)
-and fails when any ``speedup`` sits below its ``floor``, so a future PR
-cannot silently regress the vectorized paths the floors protect.
+and fails when any guard is violated, so a future PR cannot silently
+regress the vectorized paths the floors protect.
+
+Failures are *named*: a missing expected artifact, an unreadable file,
+malformed JSON, or a schema violation all surface as
+:class:`BenchArtifactError` entries rather than a silent pass — a
+deleted ``BENCH_*.json`` must fail CI exactly like a regressed one.
 
 Run from the repository root (as CI does)::
 
     python benchmarks/check_regressions.py
 
-Exit status 0 means every artifact conforms and clears its floor.
+Exit status 0 means every expected artifact exists, conforms, and
+clears its floors.
 """
 
 from __future__ import annotations
 
+import importlib.util
 import json
 import sys
 from pathlib import Path
+from typing import List, Optional, Sequence
 
 BENCH_DIR = Path(__file__).parent
-sys.path.insert(0, str(BENCH_DIR))
 
-from conftest import validate_bench_payload  # noqa: E402
+#: Artifacts that must exist — deleting one is a guard failure, not a
+#: quiet shrink of the checked set.  Extend this tuple when a new bench
+#: starts committing its artifact.
+EXPECTED_ARTIFACTS = (
+    "BENCH_api.json",
+    "BENCH_backend.json",
+    "BENCH_chip.json",
+    "BENCH_chip_pareto.json",
+    "BENCH_dse.json",
+    "BENCH_lattice.json",
+    "BENCH_runtime.json",
+)
 
 
-def main() -> int:
-    paths = sorted(BENCH_DIR.glob("BENCH_*.json"))
-    if not paths:
-        print("no BENCH_*.json artifacts found", file=sys.stderr)
-        return 1
-    problems = []
-    for path in paths:
+class BenchArtifactError(Exception):
+    """A BENCH_*.json artifact is missing, unreadable, or malformed."""
+
+    def __init__(self, problems: Sequence[str]) -> None:
+        super().__init__("\n".join(problems))
+        self.problems = list(problems)
+
+
+def _load_validator():
+    """The shared schema validator, loaded by file path.
+
+    ``from conftest import ...`` would race pytest's own conftest
+    modules when this guard is imported from the test suite; loading by
+    explicit path under a private module name cannot collide.
+    """
+    spec = importlib.util.spec_from_file_location(
+        "_bench_conftest", BENCH_DIR / "conftest.py")
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.validate_bench_payload
+
+
+def audit_artifacts(bench_dir: Path,
+                    expected: Sequence[str] = EXPECTED_ARTIFACTS,
+                    ) -> List[str]:
+    """Validate every artifact in ``bench_dir``; return all problems.
+
+    Checks three failure families: expected artifacts that are absent,
+    files that cannot be read or parsed, and payloads violating the
+    shared schema (floor/ceiling regressions included).
+    """
+    validate = _load_validator()
+    problems: List[str] = []
+    present = sorted(p.name for p in bench_dir.glob("BENCH_*.json"))
+    for name in expected:
+        if name not in present:
+            problems.append(f"{name}: expected artifact is missing "
+                            f"(deleted artifacts must fail CI, not "
+                            f"shrink the checked set)")
+    for name in present:
+        path = bench_dir / name
         try:
-            payload = json.loads(path.read_text())
-        except json.JSONDecodeError as exc:
-            problems.append(f"{path.name}: not valid JSON ({exc})")
+            text = path.read_text()
+        except OSError as exc:
+            problems.append(f"{name}: unreadable ({exc})")
             continue
-        issues = validate_bench_payload(payload, source=path.name)
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            problems.append(f"{name}: not valid JSON ({exc})")
+            continue
+        if not isinstance(payload, dict):
+            problems.append(f"{name}: top level must be a JSON object, "
+                            f"got {type(payload).__name__}")
+            continue
+        issues = validate(payload, source=name)
         problems.extend(issues)
         status = "FAIL" if issues else "ok"
-        print(f"{status:>4}  {path.name}: speedup "
+        print(f"{status:>4}  {name}: speedup "
               f"{payload.get('speedup', '?')}x (floor "
               f"{payload.get('floor', '?')}x)")
+    return problems
+
+
+def check_artifacts(bench_dir: Optional[Path] = None,
+                    expected: Sequence[str] = EXPECTED_ARTIFACTS) -> None:
+    """Raise :class:`BenchArtifactError` unless every guard holds."""
+    problems = audit_artifacts(bench_dir or BENCH_DIR, expected)
     if problems:
+        raise BenchArtifactError(problems)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``check_regressions.py [bench_dir [expected_name ...]]``.
+
+    With no arguments (the CI invocation) the committed
+    :data:`EXPECTED_ARTIFACTS` set is enforced.  A custom directory
+    validates whatever artifacts it holds unless expected names are
+    listed explicitly after it.
+    """
+    args = list(sys.argv[1:] if argv is None else argv)
+    bench_dir = Path(args[0]) if args else BENCH_DIR
+    if len(args) > 1:
+        expected: Sequence[str] = tuple(args[1:])
+    elif args:
+        expected = tuple(sorted(p.name
+                                for p in bench_dir.glob("BENCH_*.json")))
+    else:
+        expected = EXPECTED_ARTIFACTS
+    try:
+        check_artifacts(bench_dir, expected)
+    except BenchArtifactError as error:
         print("\nperf-regression guard failed:", file=sys.stderr)
-        for problem in problems:
+        for problem in error.problems:
             print(f"  - {problem}", file=sys.stderr)
         return 1
-    print(f"{len(paths)} artifact(s) clear their floors")
+    count = len(sorted(bench_dir.glob("BENCH_*.json")))
+    print(f"{count} artifact(s) clear their floors")
     return 0
 
 

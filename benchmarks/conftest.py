@@ -113,6 +113,25 @@ def validate_bench_payload(payload: Dict[str, object],
                 problems.append(
                     f"{source}: peak memory {memory['peak_mb']} MB exceeds "
                     f"the asserted ceiling {memory['ceiling_mb']} MB")
+    overhead = payload.get("overhead")
+    if overhead is not None:
+        # Optional overhead guard (BENCH_runtime.json): the ratio of
+        # the instrumented path over the plain path must stay under its
+        # ceiling — disabled fault points are supposed to be free.
+        if not isinstance(overhead, dict):
+            problems.append(f"{source}: 'overhead' must be an object")
+        else:
+            for key in ("with_s", "without_s", "ratio", "ceiling"):
+                if not isinstance(overhead.get(key), (int, float)):
+                    problems.append(
+                        f"{source}: 'overhead.{key}' must be a number")
+            if (isinstance(overhead.get("ratio"), (int, float))
+                    and isinstance(overhead.get("ceiling"), (int, float))
+                    and overhead["ratio"] > overhead["ceiling"]):
+                problems.append(
+                    f"{source}: overhead ratio {overhead['ratio']}x exceeds "
+                    f"the asserted ceiling {overhead['ceiling']}x — the "
+                    f"instrumented path is no longer near-free")
     return problems
 
 

@@ -15,6 +15,7 @@ and shows three things:
 """
 
 from repro import ChipConfig, PIMArray, plan_pipeline, resnet18
+from repro.core.types import ReproError
 from repro.dse import InfeasibleTargetError, smallest_chip
 from repro.reporting import format_table
 
@@ -51,7 +52,7 @@ def scaling_study() -> None:
                          "bottleneck": plan.bottleneck_cycles,
                          "inferences/kcycle":
                              round(plan.throughput_per_kcycle, 2)})
-        except Exception as error:
+        except ReproError as error:  # too few arrays for residency
             rows.append({"arrays": count, "bottleneck": str(error),
                          "inferences/kcycle": "-"})
     print(format_table(rows))

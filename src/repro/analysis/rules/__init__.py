@@ -15,11 +15,13 @@ from . import (  # noqa: F401  (imported for registration side effects)
     floats,
     xref,
     annotations,
+    excepts,
 )
 
 from .annotations import StrictAnnotationsRule
 from .cache_keys import CacheKeyCompletenessRule
 from .dtype import DtypeDisciplineRule
+from .excepts import BareExceptRule
 from .floats import FloatEqualityRule
 from .frozen import FrozenRequestRule
 from .mutation import CachedArrayMutationRule
@@ -33,4 +35,5 @@ __all__ = [
     "FloatEqualityRule",
     "PaperCrossRefRule",
     "StrictAnnotationsRule",
+    "BareExceptRule",
 ]

@@ -1,0 +1,84 @@
+"""REP008: no bare / catch-all ``except`` outside the runtime substrate.
+
+A ``except Exception:`` (or the bare ``except:`` / ``except
+BaseException:`` forms) swallows the typed error taxonomy this repo is
+built on — ``ConfigurationError`` vs ``InfeasibleTargetError`` vs the
+runtime substrate's ``TransientError``/``PermanentError`` split — and
+turns every future bug at that call site into a silent wrong answer.
+Callers must catch the *narrowest* type that models the failure they
+can actually handle (``ReproError`` at a CLI/driver boundary is the
+widest sanctioned net).
+
+The one sanctioned home for catch-all handlers is
+``repro/runtime/`` (:data:`DEFAULT_ALLOWED`): the circuit breaker's
+*job* is to demote an arbitrary kernel crash into a numpy-reference
+fallback, and the fault-injection harness must observe exceptions of
+any shape.  Everywhere else a catch-all is a REP008 violation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..base import ModuleUnit, Violation, rel_matches
+from ..project import ProjectContext
+from ..registry import Rule, register_rule
+
+#: Path prefixes where catch-all handlers are the mechanism, not a bug.
+DEFAULT_ALLOWED = ("repro/runtime/",)
+
+#: Exception names considered catch-all when named in a handler.
+_CATCH_ALL = frozenset({"Exception", "BaseException"})
+
+
+def _catch_all_name(node: ast.expr) -> str:
+    """``"Exception"`` for a catch-all expression, ``""`` otherwise.
+
+    Recognises the bare name (``Exception``) and the module-qualified
+    attribute form (``builtins.Exception``); anything narrower is fine.
+    """
+    if isinstance(node, ast.Name) and node.id in _CATCH_ALL:
+        return node.id
+    if isinstance(node, ast.Attribute) and node.attr in _CATCH_ALL:
+        return node.attr
+    return ""
+
+
+@register_rule
+class BareExceptRule(Rule):
+    """Catch-all ``except`` handlers are confined to ``repro/runtime/``."""
+
+    id = "REP008"
+    name = "no-bare-except"
+    summary = ("bare `except:` / `except Exception:` handlers outside "
+               "repro/runtime/ erase the typed error taxonomy — catch "
+               "the narrowest ReproError subclass instead")
+
+    def check(self, module: ModuleUnit,
+              project: ProjectContext) -> Iterator[Violation]:
+        options = self.options(project)
+        allowed = tuple(options.get("allowed", DEFAULT_ALLOWED))
+        if rel_matches(module.rel, allowed):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.violation(
+                    module, node,
+                    "bare `except:` swallows every error including "
+                    "KeyboardInterrupt — catch the narrowest typed "
+                    "ReproError subclass this site can actually handle")
+                continue
+            exprs = (node.type.elts if isinstance(node.type, ast.Tuple)
+                     else [node.type])
+            for expr in exprs:
+                name = _catch_all_name(expr)
+                if name:
+                    yield self.violation(
+                        module, expr,
+                        f"`except {name}:` outside repro/runtime/ "
+                        f"erases the typed error taxonomy — catch the "
+                        f"narrowest ReproError subclass (ReproError "
+                        f"itself only at a CLI/driver boundary)")

@@ -37,6 +37,20 @@ the min-max greedy's budget-independent state is precomputed once per
 ``(network, array, scheme)`` as a :class:`~repro.chip.sweep.ChipLattice`
 and replayed per array-count probe, so ``smallest_chip`` bisections and
 chip-sweep grids never re-run the per-probe ``heapq`` allocator.
+
+The engine can carry the fault-tolerant runtime substrate
+(:mod:`repro.runtime`, ``docs/robustness.md``): a crash-safe
+persistent :class:`~repro.runtime.store.SolutionStore` mounted as an
+L2 cache below the LRU memo (keyed by registry version + canonical
+request hash, so a fleet of processes shares one warm cache across
+restarts), in-flight coalescing so identical canonical hashes share
+one solve across threads, deadline-aware
+:class:`~repro.runtime.retry.RetryPolicy` around store I/O, a
+:class:`~repro.runtime.breaker.BreakerBackend` circuit breaker
+demoting a crashing compute backend to the bit-identical numpy
+reference, and :class:`~repro.runtime.deadline.Deadline` propagation
+into the chunked sweep loops.  All of it is opt-in and observable
+through :attr:`MappingEngine.stats`.
 """
 
 from __future__ import annotations
@@ -56,10 +70,15 @@ from ..core.cache import LRUMemo
 from ..core.layer import ConvLayer
 from ..core.sweep import NetworkLattice
 from ..core.types import ConfigurationError
+from ..runtime.breaker import BreakerBackend, CircuitBreaker
+from ..runtime.deadline import Deadline
+from ..runtime.retry import RetryPolicy, TransientError
+from ..runtime.store import SolutionStore
 from ..search.result import MappingSolution
 from .registry import DEFAULT_REGISTRY, SolverRegistry
 from .request import BatchRequest, MappingRequest
-from .response import BatchResult, CacheSnapshot, MappingResponse
+from .response import (BatchResult, CacheSnapshot, MappingResponse,
+                       solution_from_dict, solution_to_dict)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from ..chip.sweep import ChipLattice, ChipSweep
@@ -134,6 +153,19 @@ class _LRUCache:
                                  size=len(self._data))
 
 
+class _Flight:
+    """One in-flight solve other threads may wait on (coalescing)."""
+
+    __slots__ = ("event", "result")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        #: ``(solution, solve_ms)`` once the leader lands; stays
+        #: ``None`` when the leader errored (followers then re-solve
+        #: and surface the real error themselves).
+        self.result: Optional[Tuple[MappingSolution, float]] = None
+
+
 class MappingEngine:
     """Facade over the solver registry with memoization and batching.
 
@@ -156,6 +188,25 @@ class MappingEngine:
         fails here rather than mid-sweep.  Every backend is
         bit-identical (property-tested against the scalar oracle);
         the choice only moves wall-clock.
+    store:
+        Optional :class:`~repro.runtime.store.SolutionStore` mounted
+        as a persistent L2 cache below the LRU memo.  LRU misses
+        consult the store before solving; fresh solves append to it
+        (best-effort: write failures are retried, then counted in
+        ``stats`` and absorbed — persistence never changes results).
+        Store keys are ``"{registry version}:{canonical hash}"`` —
+        backend-free on purpose, since backends are bit-identical by
+        contract and the store outlives any one process's choice.
+    retry:
+        :class:`~repro.runtime.retry.RetryPolicy` for store I/O
+        (defaults to a small seeded exponential-backoff policy).
+    breaker:
+        Circuit-breaker control for the compute backend.  ``None``
+        (auto) wraps only optimized backends — numpy, the reference,
+        has nothing to fall back to; ``True`` always wraps (tests and
+        the CI fault-smoke job use this to crash even a numpy
+        primary); ``False`` never wraps.  Trip counts surface in
+        :attr:`stats`.
 
     >>> engine = MappingEngine()
     >>> layer = ConvLayer.square(14, 3, 256, 256)
@@ -168,7 +219,11 @@ class MappingEngine:
     def __init__(self, registry: Optional[SolverRegistry] = None,
                  cache_size: int = 4096,
                  max_workers: Optional[int] = None,
-                 backend: Union[str, Backend] = "auto") -> None:
+                 backend: Union[str, Backend] = "auto", *,
+                 store: Optional[SolutionStore] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 breaker: Optional[bool] = None,
+                 breaker_cooldown: int = 64) -> None:
         if cache_size < 0:
             raise ConfigurationError(
                 f"cache_size must be >= 0, got {cache_size}")
@@ -178,6 +233,20 @@ class MappingEngine:
         self.registry = registry if registry is not None else DEFAULT_REGISTRY
         self.max_workers = max_workers
         self._backend = get_backend(backend)
+        self._breaker: Optional[CircuitBreaker] = None
+        wrap = (self._backend.name != "numpy") if breaker is None \
+            else bool(breaker)
+        if wrap:
+            guarded = BreakerBackend(
+                self._backend, breaker=CircuitBreaker(breaker_cooldown))
+            self._backend = guarded
+            self._breaker = guarded.breaker
+        self._store = store
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._store_errors = 0
+        self._coalesced = 0
+        self._runtime_lock = threading.Lock()
+        self._inflight: Dict[str, "_Flight"] = {}
         self._cache = _LRUCache(cache_size)
         self._sweeps: LRUMemo = LRUMemo(maxsize=self.SWEEP_CACHE_SIZE)
         # One sweep workspace per thread (Workspace is not thread-safe);
@@ -252,10 +321,105 @@ class MappingEngine:
         solution = solver(request.layer, request.array)
         solve_ms = (time.perf_counter() - start) * 1000.0
         self._cache.put(key, solution)
+        self._store_put(request, solution)
         return solution, solve_ms
+
+    # -- persistent store (L2) + in-flight coalescing ------------------
+
+    def _store_key(self, request: MappingRequest) -> str:
+        """The L2 key: registry version + canonical request hash.
+
+        Deliberately backend-free (unlike :meth:`_memo_key`): backends
+        are bit-identical by contract — re-proven by the breaker
+        property suite — and the store outlives any one process's
+        backend choice.
+        """
+        version = self.registry.version(request.scheme)
+        return f"{version}:{request.cache_key}"
+
+    def _count_store_error(self) -> None:
+        with self._runtime_lock:
+            self._store_errors += 1
+
+    def _store_get(self, request: MappingRequest) -> Optional[MappingSolution]:
+        """Look *request* up in the persistent store (``None`` on miss,
+        on store failure, or on an undecodable record)."""
+        if self._store is None:
+            return None
+        store, key = self._store, self._store_key(request)
+        try:
+            payload = self._retry.call(lambda: store.get(key))
+        except (TransientError, OSError):
+            self._count_store_error()
+            return None
+        if not isinstance(payload, dict):
+            return None
+        try:
+            return solution_from_dict(payload, request)
+        except (KeyError, TypeError, ValueError):
+            # A record from an incompatible schema: treat as a miss and
+            # re-solve (the fresh put overwrites it, last-writer-wins).
+            self._count_store_error()
+            return None
+
+    def _store_put(self, request: MappingRequest,
+                   solution: MappingSolution) -> None:
+        """Best-effort persistence: retried, then counted and absorbed
+        — a dead store degrades durability, never answers."""
+        if self._store is None:
+            return
+        store, key = self._store, self._store_key(request)
+        payload = solution_to_dict(solution)
+        try:
+            self._retry.call(lambda: store.put(key, payload))
+        except (TransientError, OSError):
+            self._count_store_error()
+
+    def _solve_coalesced(self, request: MappingRequest,
+                         key: str) -> Tuple[MappingSolution, float, bool]:
+        """Solve *request*, sharing work with identical in-flight keys.
+
+        Returns ``(solution, solve_ms, shared)`` — *shared* is True
+        when another thread's solve answered this request.  A leader
+        failure leaves followers to re-solve solo, so they surface the
+        real error rather than a second-hand one.  ``cache_size=0``
+        engines skip coalescing (the honest benchmarking baseline).
+        """
+        if self._cache.maxsize <= 0:
+            solution, solve_ms = self._timed_solve(request, key)
+            return solution, solve_ms, False
+        with self._runtime_lock:
+            flight = self._inflight.get(key)
+            leader = flight is None
+            if leader:
+                flight = _Flight()
+                self._inflight[key] = flight
+        assert flight is not None
+        if leader:
+            try:
+                flight.result = self._timed_solve(request, key)
+            finally:
+                with self._runtime_lock:
+                    self._inflight.pop(key, None)
+                flight.event.set()
+            solution, solve_ms = flight.result
+            return solution, solve_ms, False
+        flight.event.wait()
+        if flight.result is None:
+            solution, solve_ms = self._timed_solve(request, key)
+            return solution, solve_ms, False
+        with self._runtime_lock:
+            self._coalesced += 1
+        solution, solve_ms = flight.result
+        return solution, solve_ms, True
 
     def map(self, request: MappingRequest) -> MappingResponse:
         """Resolve one request into a :class:`MappingResponse`.
+
+        Lookup order: the in-process LRU memo, then the persistent
+        store (when mounted; a store hit back-fills the memo), then an
+        in-flight-coalesced solver run.  Both cache tiers report
+        ``cached=True``.
 
         >>> engine = MappingEngine()
         >>> request = MappingRequest(layer=ConvLayer.square(14, 3, 256, 256),
@@ -273,9 +437,17 @@ class MappingEngine:
             return MappingResponse(request=request,
                                    solution=self._rebind(cached, request),
                                    cached=True)
-        solution, solve_ms = self._timed_solve(request, key)
-        return MappingResponse(request=request, solution=solution,
-                               cached=False, solve_ms=solve_ms)
+        stored = self._store_get(request)
+        if stored is not None:
+            self._cache.put(key, stored)
+            return MappingResponse(request=request,
+                                   solution=self._rebind(stored, request),
+                                   cached=True)
+        solution, solve_ms, shared = self._solve_coalesced(request, key)
+        return MappingResponse(request=request,
+                               solution=self._rebind(solution, request),
+                               cached=shared,
+                               solve_ms=0.0 if shared else solve_ms)
 
     # ------------------------------------------------------------------
     # Batch path
@@ -330,7 +502,16 @@ class MappingEngine:
         for key, request in zip(keys, batch):
             if key in solved and key not in first_use:
                 first_use.add(key)
-                solution, solve_ms = solved[key]
+                solution, solve_ms, from_store = solved[key]
+                if from_store:
+                    # Persistent-store hit: cached=True, like map().
+                    self._cache.count_hit()
+                    batch_hits += 1
+                    responses.append(MappingResponse(
+                        request=request,
+                        solution=self._rebind(solution, request),
+                        cached=True))
+                    continue
                 self._cache.count_miss()
                 batch_misses += 1
                 responses.append(MappingResponse(
@@ -367,21 +548,34 @@ class MappingEngine:
         return BatchResult(responses=tuple(responses), stats=stats,
                            elapsed_ms=elapsed_ms)
 
+    def _solve_one(self, request: MappingRequest,
+                   key: str) -> Tuple[MappingSolution, float, bool]:
+        """One batch item's LRU-miss path: store lookup, then a
+        coalesced solve.  The third element flags a store hit, so the
+        batch assembler can report it ``cached=True`` like :meth:`map`
+        does (both cache tiers count as cached)."""
+        stored = self._store_get(request)
+        if stored is not None:
+            self._cache.put(key, stored)
+            return stored, 0.0, True
+        solution, solve_ms, _ = self._solve_coalesced(request, key)
+        return solution, solve_ms, False
+
     def _solve_many(self, items: Sequence[Tuple[str, MappingRequest]],
                     max_workers: Optional[int]
-                    ) -> Dict[str, Tuple[MappingSolution, float]]:
+                    ) -> Dict[str, Tuple[MappingSolution, float, bool]]:
         """Solve distinct problems, concurrently when it pays off."""
         workers = max_workers if max_workers is not None else self.max_workers
-        solved: Dict[str, Tuple[MappingSolution, float]] = {}
+        solved: Dict[str, Tuple[MappingSolution, float, bool]] = {}
         if not items:
             return solved
         if workers == 1 or len(items) == 1:
             for key, request in items:
-                solved[key] = self._timed_solve(request, key)
+                solved[key] = self._solve_one(request, key)
         else:
             from concurrent.futures import ThreadPoolExecutor
             with ThreadPoolExecutor(max_workers=workers) as pool:
-                futures = {key: pool.submit(self._timed_solve, request, key)
+                futures = {key: pool.submit(self._solve_one, request, key)
                            for key, request in items}
                 for key, future in futures.items():
                     solved[key] = future.result()
@@ -473,7 +667,8 @@ class MappingEngine:
     def sweep_cycles(self, network: Iterable[ConvLayer],
                      arrays: Sequence[PIMArray],
                      scheme: str = "vw-sdk",
-                     backend: Union[str, Backend, None] = None) -> np.ndarray:
+                     backend: Union[str, Backend, None] = None,
+                     deadline: Optional[Deadline] = None) -> np.ndarray:
         """Total network cycles for *many* candidate arrays: ``(A,)``.
 
         The batchable schemes answer the whole sweep in one vectorized
@@ -482,6 +677,11 @@ class MappingEngine:
         calling thread's reusable workspace, so probing a large
         candidate grid allocates no per-probe temporaries; the
         fallback resolves each array through the memoized batch path.
+
+        With a :class:`~repro.runtime.deadline.Deadline`, the chunked
+        sweep loop checkpoints cooperatively and an expired budget
+        raises :class:`~repro.runtime.deadline.DeadlineExceededError`
+        carrying the best-so-far partial totals.
 
         >>> engine = MappingEngine()
         >>> from repro.networks import resnet18
@@ -495,9 +695,17 @@ class MappingEngine:
         if sweep is not None:
             return sweep.cycles_for(arrays,
                                     backend=self._resolve_backend(backend),
-                                    workspace=self._workspace())
-        return np.asarray([self.network_cycles(layers, array, scheme)
-                           for array in arrays], dtype=np.int64)
+                                    workspace=self._workspace(),
+                                    deadline=deadline)
+        cycles = np.empty(len(arrays), dtype=np.int64)
+        for i, array in enumerate(arrays):
+            if deadline is not None:
+                deadline.check(
+                    partial={"completed": i, "total": len(arrays),
+                             "cycles": cycles[:i].copy()},
+                    where="sweep_cycles")
+            cycles[i] = self.network_cycles(layers, array, scheme)
+        return cycles
 
     # ------------------------------------------------------------------
     # Chip sweeps (batched greedy planning)
@@ -555,7 +763,8 @@ class MappingEngine:
                    array: Union[PIMArray, Sequence[PIMArray]],
                    counts: Sequence[int],
                    scheme: str = "vw-sdk", *,
-                   cost_params: Optional["CostParams"] = None
+                   cost_params: Optional["CostParams"] = None,
+                   deadline: Optional[Deadline] = None
                    ) -> "ChipSweep":
         """Greedy pipeline outcomes for many chip array counts.
 
@@ -577,7 +786,8 @@ class MappingEngine:
         """
         lattice = self.chip_lattice(network, array, scheme,
                                     cost_params=cost_params)
-        return lattice.sweep(counts, workspace=self._workspace())
+        return lattice.sweep(counts, workspace=self._workspace(),
+                             deadline=deadline)
 
     def chip_pareto(self, network: Iterable[ConvLayer],
                     geometries: Optional[Sequence[PIMArray]] = None,
@@ -614,14 +824,41 @@ class MappingEngine:
     # Introspection / management
     # ------------------------------------------------------------------
     @property
+    def store(self) -> Optional[SolutionStore]:
+        """The mounted persistent store, if any."""
+        return self._store
+
+    @property
+    def breaker(self) -> Optional[CircuitBreaker]:
+        """The backend circuit breaker, if the backend is wrapped."""
+        return self._breaker
+
+    @property
     def stats(self) -> CacheSnapshot:
         """Lifetime cache statistics of this engine, annotated with the
-        resolved backend name and the aggregated workspace counters."""
+        resolved backend name, the aggregated workspace counters, and
+        — when the runtime substrate is mounted — breaker and
+        persistent-store counters."""
         reuses, grows, peak = self.workspace_counters()
-        return replace(self._cache.snapshot(),
+        snap = replace(self._cache.snapshot(),
                        backend=self._backend.name,
                        workspace_reuses=reuses, workspace_grows=grows,
-                       workspace_peak_bytes=peak)
+                       workspace_peak_bytes=peak,
+                       coalesced=self._coalesced)
+        if self._breaker is not None:
+            brk = self._breaker.snapshot()
+            snap = replace(snap, breaker_state=str(brk["state"]),
+                           breaker_trips=int(brk["trips"]),
+                           breaker_fallbacks=int(brk["fallback_calls"]),
+                           breaker_probes=int(brk["probes"]))
+        if self._store is not None:
+            st = self._store.stats()
+            snap = replace(snap, store_attached=True,
+                           store_hits=st["hits"],
+                           store_misses=st["misses"],
+                           store_records=st["records"],
+                           store_errors=self._store_errors)
+        return snap
 
     @property
     def cache_len(self) -> int:

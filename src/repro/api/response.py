@@ -74,6 +74,14 @@ class CacheSnapshot:
     leave ``backend`` as ``None`` and the serialised envelope then
     omits the backend/workspace keys, so pre-existing JSON consumers
     see byte-identical output.
+
+    Engines carrying runtime substrate report it the same way:
+    circuit-breaker counters (``breaker_state`` is ``None`` on
+    breaker-less engines and the envelope omits the ``breaker`` key),
+    persistent-store counters (``store_attached`` gates the ``store``
+    key), and ``coalesced`` — requests served by another thread's
+    in-flight solve (emitted only when non-zero, so substrate-free
+    envelopes stay byte-identical).
     """
 
     hits: int = 0
@@ -84,6 +92,16 @@ class CacheSnapshot:
     workspace_reuses: int = 0
     workspace_grows: int = 0
     workspace_peak_bytes: int = 0
+    breaker_state: Optional[str] = None
+    breaker_trips: int = 0
+    breaker_fallbacks: int = 0
+    breaker_probes: int = 0
+    store_attached: bool = False
+    store_hits: int = 0
+    store_misses: int = 0
+    store_records: int = 0
+    store_errors: int = 0
+    coalesced: int = 0
 
     @property
     def solver_calls(self) -> int:
@@ -110,19 +128,43 @@ class CacheSnapshot:
             data["workspace"] = {"reuses": self.workspace_reuses,
                                  "grows": self.workspace_grows,
                                  "peak_bytes": self.workspace_peak_bytes}
+        if self.breaker_state is not None:
+            data["breaker"] = {"state": self.breaker_state,
+                               "trips": self.breaker_trips,
+                               "fallbacks": self.breaker_fallbacks,
+                               "probes": self.breaker_probes}
+        if self.store_attached:
+            data["store"] = {"hits": self.store_hits,
+                             "misses": self.store_misses,
+                             "records": self.store_records,
+                             "errors": self.store_errors}
+        if self.coalesced:
+            data["coalesced"] = self.coalesced
         return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "CacheSnapshot":
         """Inverse of :meth:`to_dict`."""
         workspace = data.get("workspace", {})
+        breaker = data.get("breaker", {})
+        store = data.get("store")
         return cls(hits=data.get("hits", 0), misses=data.get("misses", 0),
                    evictions=data.get("evictions", 0),
                    size=data.get("size", 0),
                    backend=data.get("backend"),
                    workspace_reuses=workspace.get("reuses", 0),
                    workspace_grows=workspace.get("grows", 0),
-                   workspace_peak_bytes=workspace.get("peak_bytes", 0))
+                   workspace_peak_bytes=workspace.get("peak_bytes", 0),
+                   breaker_state=breaker.get("state"),
+                   breaker_trips=breaker.get("trips", 0),
+                   breaker_fallbacks=breaker.get("fallbacks", 0),
+                   breaker_probes=breaker.get("probes", 0),
+                   store_attached=store is not None,
+                   store_hits=(store or {}).get("hits", 0),
+                   store_misses=(store or {}).get("misses", 0),
+                   store_records=(store or {}).get("records", 0),
+                   store_errors=(store or {}).get("errors", 0),
+                   coalesced=data.get("coalesced", 0))
 
     def __str__(self) -> str:  # noqa: D105 - log line
         return (f"{self.hits} hits / {self.misses} misses "

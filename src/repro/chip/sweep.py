@@ -68,8 +68,31 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from ..api.engine import MappingEngine
     from ..core.array import PIMArray
     from ..core.layer import ConvLayer
+    from ..runtime.deadline import Deadline
 
 __all__ = ["ChipLattice", "ChipOutcome", "ChipSweep", "chip_lattice"]
+
+
+def _concat_sweeps(blocks: "List[ChipSweep]") -> "ChipSweep":
+    """Concatenate chunked :class:`ChipSweep` blocks (probe order kept)."""
+    def cat(field: str) -> Optional[np.ndarray]:
+        parts = [getattr(block, field) for block in blocks]
+        if parts[0] is None:
+            return None
+        return np.concatenate(parts)
+
+    return ChipSweep(
+        num_arrays=np.concatenate([b.num_arrays for b in blocks]),
+        feasible=np.concatenate([b.feasible for b in blocks]),
+        bottleneck_cycles=np.concatenate(
+            [b.bottleneck_cycles for b in blocks]),
+        fill_latency_cycles=np.concatenate(
+            [b.fill_latency_cycles for b in blocks]),
+        arrays_used=np.concatenate([b.arrays_used for b in blocks]),
+        cells_used=cat("cells_used"),
+        energy_nj=cat("energy_nj"),
+        latency_us=cat("latency_us"),
+    )
 
 
 @dataclass(frozen=True)
@@ -405,8 +428,13 @@ class ChipLattice:
         ws.release(mark)
         return replicas
 
+    #: Probes per chunk of a :meth:`sweep` — bounds the ``(A, S)``
+    #: scratch and doubles as the deadline-checkpoint granularity.
+    SWEEP_CHUNK = 4096
+
     def sweep(self, counts: Sequence[int],
-              workspace: Optional[Workspace] = None) -> ChipSweep:
+              workspace: Optional[Workspace] = None,
+              deadline: Optional["Deadline"] = None) -> ChipSweep:
         """Greedy outcomes for a whole vector of array counts.
 
         One scan over the merged groups, every probe advanced as NumPy
@@ -417,6 +445,14 @@ class ChipLattice:
         study); the returned :class:`ChipSweep` vectors are always
         fresh allocations.
 
+        Probe grids are processed in :data:`SWEEP_CHUNK` chunks; each
+        chunk boundary is a cooperative cancellation checkpoint when a
+        :class:`~repro.runtime.deadline.Deadline` is given — an
+        expired budget raises ``DeadlineExceededError`` whose
+        ``partial`` carries ``{"completed", "total", "sweep"}`` with
+        the :class:`ChipSweep` of the probes already finished (or
+        ``None`` when none are).
+
         >>> from repro.core import PIMArray
         >>> from repro.networks import resnet18
         >>> lat = ChipLattice.for_network(resnet18(), PIMArray.square(512))
@@ -425,6 +461,25 @@ class ChipLattice:
         """
         counts = np.asarray(list(counts), dtype=np.int64)
         ws = workspace if workspace is not None else Workspace()
+        if deadline is None and counts.size <= self.SWEEP_CHUNK:
+            return self._sweep_block(counts, ws)
+        blocks: List[ChipSweep] = []
+        for start in range(0, counts.size, self.SWEEP_CHUNK):
+            if deadline is not None:
+                deadline.check(
+                    partial={"completed": start, "total": int(counts.size),
+                             "sweep": (_concat_sweeps(blocks)
+                                       if blocks else None)},
+                    where="ChipLattice.sweep")
+            blocks.append(self._sweep_block(
+                counts[start:start + self.SWEEP_CHUNK], ws))
+        if len(blocks) == 1:
+            return blocks[0]
+        return _concat_sweeps(blocks)
+
+    def _sweep_block(self, counts: np.ndarray,
+                     ws: Workspace) -> ChipSweep:
+        """One chunk of :meth:`sweep` (the whole grid, usually)."""
         replicas = self.replicas_for(counts, ws)
         mark = ws.mark()
         scratch = ws.borrow(replicas.shape, np.int64)

@@ -71,6 +71,9 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=sorted(SCHEMES), help="mapping scheme")
     p_map.add_argument("--json", action="store_true",
                        help="print the MappingResponse envelope as JSON")
+    p_map.add_argument("--store", metavar="FILE", default=None,
+                       help="crash-safe persistent solution store (JSONL) "
+                            "consulted before solving and appended after")
 
     p_net = sub.add_parser("network", help="map a zoo or custom network")
     p_net.add_argument("name", nargs="?", default=None,
@@ -82,6 +85,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="array as ROWSxCOLS")
     p_net.add_argument("--json", action="store_true",
                        help="print the BatchResult envelope as JSON")
+    p_net.add_argument("--store", metavar="FILE", default=None,
+                       help="crash-safe persistent solution store (JSONL) "
+                            "consulted before solving and appended after")
 
     p_exp = sub.add_parser(
         "experiments",
@@ -147,6 +153,10 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=("auto", "numpy", "numba"),
                          help="lattice compute backend (auto = numba "
                               "when installed, else numpy)")
+    p_sweep.add_argument("--deadline-ms", type=float, default=None,
+                         help="wall budget for the sweep; on expiry the "
+                              "exit is typed (status 3) and reports the "
+                              "probes already finished")
     p_pareto = chip_sub.add_parser(
         "pareto", help="cells/energy/latency chip deployment frontier")
     p_pareto.add_argument("name", help="zoo network, e.g. resnet18")
@@ -176,21 +186,29 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _engine_for(backend: str):
-    """The engine serving a ``--backend`` choice.
+def _engine_for(backend: str, store: Optional[str] = None):
+    """The engine serving a ``--backend`` / ``--store`` choice.
 
-    ``auto`` keeps the process-wide shared engine (warm memos); an
-    explicit backend gets a dedicated engine so its name lands in every
-    memo key and in ``stats``.  An impossible choice (``numba`` without
-    numba installed) exits with the resolver's message instead of
-    failing mid-sweep.
+    ``auto`` without a store keeps the process-wide shared engine
+    (warm memos); an explicit backend or a ``--store`` path gets a
+    dedicated engine so its name lands in every memo key and its store
+    counters in ``stats``.  An impossible choice (``numba`` without
+    numba installed, an unopenable store file) exits with the
+    resolver's message instead of failing mid-sweep.
     """
-    if backend == "auto":
+    if backend == "auto" and store is None:
         return default_engine()
     from .api import MappingEngine
     from .core import ConfigurationError
+    solution_store = None
+    if store is not None:
+        from .runtime import SolutionStore, StoreCorruptionError
+        try:
+            solution_store = SolutionStore(store)
+        except (OSError, StoreCorruptionError) as error:
+            raise SystemExit(f"--store: {error}") from None
     try:
-        return MappingEngine(backend=backend)
+        return MappingEngine(backend=backend, store=solution_store)
     except ConfigurationError as error:
         raise SystemExit(f"--backend: {error}") from None
 
@@ -202,7 +220,7 @@ def _layer_from_args(args: argparse.Namespace) -> ConvLayer:
 def _cmd_map(args: argparse.Namespace) -> int:
     layer = _layer_from_args(args)
     array = PIMArray.parse(args.array)
-    response = default_engine().map(
+    response = _engine_for("auto", args.store).map(
         MappingRequest(layer=layer, array=array, scheme=args.scheme))
     if args.json:
         print(response.to_json())
@@ -229,12 +247,13 @@ def _cmd_network(args: argparse.Namespace) -> int:
     else:
         raise SystemExit("network: give a zoo name or --file PATH")
     array = PIMArray.parse(args.array)
+    engine = _engine_for("auto", args.store)
     if args.json:
         batch = BatchRequest.from_network(network, array,
                                           schemes=PAPER_SCHEMES)
-        print(default_engine().map_batch(batch).to_json())
+        print(engine.map_batch(batch).to_json())
         return 0
-    reports = compare_schemes(network, array)
+    reports = compare_schemes(network, array, engine=engine)
     vw = reports["vw-sdk"]
     rows = []
     for i, layer in enumerate(network):
@@ -357,7 +376,16 @@ def _cmd_chip_sweep(args: argparse.Namespace) -> int:
     else:
         step = max(1, (7 * floor) // 32)
         counts = list(range(floor, 8 * floor + 1, step))
-    sweep = engine.chip_sweep(network, array, counts, args.scheme)
+    deadline = None
+    if args.deadline_ms is not None:
+        from .runtime import Deadline
+        from .core import ConfigurationError
+        try:
+            deadline = Deadline(args.deadline_ms / 1000.0)
+        except ConfigurationError as error:
+            raise SystemExit(f"--deadline-ms: {error}") from None
+    sweep = engine.chip_sweep(network, array, counts, args.scheme,
+                              deadline=deadline)
     print(format_table(
         sweep.rows(),
         title=f"{network.name} chip sweep on {array} crossbars "
@@ -448,10 +476,34 @@ def _normalize_argv(argv: List[str]) -> List[str]:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit status."""
+    """CLI entry point; returns the process exit status.
+
+    Library failures surface as *typed* one-line errors, never
+    tracebacks: :class:`~repro.runtime.deadline.DeadlineExceededError`
+    exits 3 with the best-so-far progress attached; any other
+    :class:`~repro.core.types.ReproError` (configuration mistakes,
+    infeasible targets, permanent store damage) exits 2 with the error
+    class named.  There is deliberately no bare ``except Exception``
+    here — anything else is a bug and should crash loudly (the REP008
+    lint rule enforces the same discipline tree-wide).
+    """
     argv = list(sys.argv[1:] if argv is None else argv)
     args = build_parser().parse_args(_normalize_argv(argv))
-    return _COMMANDS[args.command](args)
+    from .core.types import ReproError
+    from .runtime import DeadlineExceededError
+    try:
+        return _COMMANDS[args.command](args)
+    except DeadlineExceededError as error:
+        partial = error.partial if isinstance(error.partial, dict) else {}
+        done, total = partial.get("completed"), partial.get("total")
+        progress = (f" — {done}/{total} probes finished"
+                    if done is not None else "")
+        print(f"vwsdk: deadline exceeded: {error}{progress}",
+              file=sys.stderr)
+        return 3
+    except ReproError as error:
+        print(f"vwsdk: {type(error).__name__}: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - module CLI

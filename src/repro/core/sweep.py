@@ -50,7 +50,8 @@ engine path for the rest.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (TYPE_CHECKING, Dict, Iterable, List, Optional,
+                    Sequence, Tuple, Union)
 
 import numpy as np
 
@@ -60,6 +61,9 @@ from .cache import LRUMemo, freeze_arrays
 from .layer import ConvLayer
 from .lattice import _geometry_key, _minimized, layer_lattice
 from .types import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - layering guard, types only
+    from ..runtime.deadline import Deadline
 
 __all__ = ["NetworkLattice", "network_lattice"]
 
@@ -371,7 +375,8 @@ class NetworkLattice:
 
     def cycles_for(self, arrays: Sequence[PIMArray],
                    backend: Union[str, Backend, None] = None,
-                   workspace: Optional[Workspace] = None) -> np.ndarray:
+                   workspace: Optional[Workspace] = None,
+                   deadline: Optional["Deadline"] = None) -> np.ndarray:
         """Total network cycles for *many* arrays: ``(A,)`` int64.
 
         One vectorized evaluation over the shared flat grids, chunked
@@ -379,6 +384,14 @@ class NetworkLattice:
         Chunks reuse one :class:`~repro.core.backend.Workspace` (the
         caller's, or a private throwaway), so a sweep allocates its
         scratch once, not per chunk.
+
+        The chunk boundary is also the sweep's cooperative
+        cancellation checkpoint: with a
+        :class:`~repro.runtime.deadline.Deadline`, an expired budget
+        raises ``DeadlineExceededError`` whose ``partial`` carries
+        ``{"completed", "total", "cycles"}`` — the totals of the
+        arrays already evaluated, so callers degrade to a truncated
+        sweep instead of nothing.
 
         >>> lat = NetworkLattice.for_network(
         ...     [ConvLayer.square(14, 3, 256, 256)])
@@ -395,6 +408,11 @@ class NetworkLattice:
         chunk = max(1, _CHUNK_CELLS // max(self.num_cells, 1))
         totals = np.empty(len(arrays), dtype=np.int64)
         for start in range(0, len(arrays), chunk):
+            if deadline is not None:
+                deadline.check(
+                    partial={"completed": start, "total": len(arrays),
+                             "cycles": totals[:start].copy()},
+                    where="NetworkLattice.cycles_for")
             stop = start + chunk
             geo = self._geo_cycles(rows[start:stop], cols[start:stop],
                                    be, ws)

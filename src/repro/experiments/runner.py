@@ -10,6 +10,16 @@ through the shared :func:`repro.api.default_engine`, so their recurring
 layer shapes are solved once; the run ends with that engine's cache
 statistics.  Figs. 1, 4, 5 and 7 evaluate cycle formulas directly and
 do not appear in those stats.
+
+One misconfigured or crashing driver must not take the whole
+regeneration run down with a traceback: driver failures of the typed
+family (:class:`~repro.core.types.ReproError` — configuration
+mistakes, infeasible targets, runtime-substrate errors) are isolated
+per experiment and reported as failed scoreboard checks, so the run
+completes, the exit status reflects the failure, and the error class
+is named in the output.  Anything *outside* the typed family is a bug
+and still crashes loudly — there are deliberately no bare ``except
+Exception`` handlers here (REP008 enforces this tree-wide).
 """
 
 from __future__ import annotations
@@ -18,6 +28,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Tuple
 
 from ..api.engine import default_engine
+from ..core.types import ReproError
 from . import fig1, fig2, fig4, fig5, fig7, fig8, fig9, table1
 
 __all__ = ["EXPERIMENTS", "run_all", "verification_scoreboard",
@@ -48,10 +59,20 @@ class Check:
 
 
 def run_all() -> Dict[str, str]:
-    """Run every experiment; experiment id -> rendered text."""
+    """Run every experiment; experiment id -> rendered text.
+
+    A driver that raises a typed :class:`ReproError` is reported inline
+    and does not abort the remaining experiments; its scoreboard checks
+    fail via :func:`verification_scoreboard`.
+    """
     out: Dict[str, str] = {}
     for exp_id, (runner, _) in EXPERIMENTS.items():
-        result = runner()
+        try:
+            result = runner()
+        except ReproError as error:
+            out[exp_id] = (f"[driver failed] {type(error).__name__}: "
+                           f"{error}")
+            continue
         if isinstance(result, dict):  # table1 returns per-network results
             out[exp_id] = "\n\n".join(r.to_text() for r in result.values())
         else:
@@ -60,10 +81,23 @@ def run_all() -> Dict[str, str]:
 
 
 def verification_scoreboard() -> List[Check]:
-    """Every paper-vs-measured check across all experiments."""
+    """Every paper-vs-measured check across all experiments.
+
+    A verifier that raises a typed :class:`ReproError` contributes a
+    single failed check naming the error class, so the scoreboard (and
+    the process exit status) reflects the failure without a traceback.
+    """
     checks: List[Check] = []
     for exp_id, (_, verifier) in EXPERIMENTS.items():
-        for name, expected, measured, ok in verifier():
+        try:
+            results = verifier()
+        except ReproError as error:
+            checks.append(Check(
+                experiment=exp_id, name=f"{exp_id} driver",
+                expected="completes",
+                measured=f"{type(error).__name__}: {error}", ok=False))
+            continue
+        for name, expected, measured, ok in results:
             checks.append(Check(experiment=exp_id, name=name,
                                 expected=expected, measured=measured, ok=ok))
     return checks

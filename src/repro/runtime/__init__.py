@@ -1,0 +1,50 @@
+"""Fault-tolerant runtime substrate: the waterline under serving.
+
+Five small, composable pieces (see ``docs/robustness.md``):
+
+* :mod:`~repro.runtime.faults` — seeded deterministic fault injection
+  (:class:`FaultPlan`, named :func:`fault_point` sites, zero-cost when
+  disabled);
+* :mod:`~repro.runtime.deadline` — monotonic budgets with cooperative
+  checkpoints in the chunked lattice loops
+  (:class:`Deadline`, :class:`DeadlineExceededError` carrying
+  best-so-far partials);
+* :mod:`~repro.runtime.retry` — deadline-aware exponential backoff
+  (:class:`RetryPolicy`) over a :class:`TransientError` /
+  :class:`PermanentError` taxonomy;
+* :mod:`~repro.runtime.breaker` — a circuit breaker
+  (:class:`BreakerBackend`) demoting a crashing backend to the numpy
+  reference, bit-identically;
+* :mod:`~repro.runtime.store` — a crash-safe append-only JSONL
+  solution store (:class:`SolutionStore`) mounted as the engine's L2
+  cache.
+"""
+
+from .breaker import BreakerBackend, CircuitBreaker
+from .deadline import Deadline, DeadlineExceededError
+from .faults import (FAULT_SITES, DuplicateFaultSiteError, FaultError,
+                     FaultPlan, FaultSpec, UnknownFaultSiteError,
+                     active_plan, fault_point, register_fault_site)
+from .retry import PermanentError, RetryPolicy, TransientError
+from .store import SolutionStore, StoreCorruptionError
+
+__all__ = [
+    "BreakerBackend",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceededError",
+    "FAULT_SITES",
+    "DuplicateFaultSiteError",
+    "FaultError",
+    "FaultPlan",
+    "FaultSpec",
+    "UnknownFaultSiteError",
+    "active_plan",
+    "fault_point",
+    "register_fault_site",
+    "PermanentError",
+    "RetryPolicy",
+    "TransientError",
+    "SolutionStore",
+    "StoreCorruptionError",
+]

@@ -1,0 +1,92 @@
+"""Monotonic deadlines with cooperative cancellation checkpoints.
+
+A :class:`Deadline` is a wall-budget on the monotonic clock.  Long
+loops (the chunked lattice sweeps in :mod:`repro.core.sweep` and
+:mod:`repro.chip.sweep`) call :meth:`Deadline.check` once per chunk;
+when the budget is spent the checkpoint raises
+:class:`DeadlineExceededError` carrying whatever best-so-far partial
+result the loop passed in, so callers degrade to a truncated answer
+instead of losing everything.
+
+The clock is injectable for tests (``Deadline(0.5, clock=fake)``);
+everything is pure arithmetic on ``clock()`` so a deadline object is
+trivially shareable across threads.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Optional
+
+from ..core.types import ConfigurationError, ReproError
+
+__all__ = ["Deadline", "DeadlineExceededError"]
+
+
+class DeadlineExceededError(ReproError):
+    """A cooperative checkpoint found the budget spent.
+
+    ``partial`` carries the raiser's best-so-far result (shape is
+    raiser-defined — the chunked sweeps attach ``{"completed", "total",
+    ...}`` dicts); ``where`` names the checkpoint for diagnostics.
+    """
+
+    def __init__(self, message: str, *, partial: Any = None,
+                 where: str = "", budget_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.partial = partial
+        self.where = where
+        self.budget_s = budget_s
+
+
+class Deadline:
+    """A fixed monotonic-clock budget.
+
+    >>> d = Deadline.after(60.0)
+    >>> d.expired
+    False
+    >>> d.remaining() <= 60.0
+    True
+    """
+
+    __slots__ = ("budget_s", "_clock", "_expires_at")
+
+    def __init__(self, budget_s: float, *,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if budget_s <= 0.0:
+            raise ConfigurationError(
+                f"deadline budget must be positive seconds, got "
+                f"{budget_s!r}")
+        self.budget_s = float(budget_s)
+        self._clock = clock
+        self._expires_at = clock() + self.budget_s
+
+    @classmethod
+    def after(cls, seconds: float, *,
+              clock: Callable[[], float] = time.monotonic) -> "Deadline":
+        """A deadline *seconds* from now."""
+        return cls(seconds, clock=clock)
+
+    def remaining(self) -> float:
+        """Seconds left (never negative)."""
+        return max(0.0, self._expires_at - self._clock())
+
+    @property
+    def expired(self) -> bool:
+        return self._clock() >= self._expires_at
+
+    def check(self, *, partial: Any = None, where: str = "") -> None:
+        """Raise :class:`DeadlineExceededError` if the budget is spent.
+
+        *partial* is attached to the error as the best-so-far result;
+        *where* names the checkpoint.
+        """
+        if self._clock() >= self._expires_at:
+            site = f" at {where}" if where else ""
+            raise DeadlineExceededError(
+                f"deadline of {self.budget_s:.3f}s exceeded{site}",
+                partial=partial, where=where, budget_s=self.budget_s)
+
+    def __repr__(self) -> str:
+        return (f"Deadline(budget_s={self.budget_s!r}, "
+                f"remaining={self.remaining():.3f})")

@@ -1,0 +1,282 @@
+"""Seeded, deterministic fault injection for the runtime substrate.
+
+Production code declares *fault points* — named sites where the
+runtime may be told to fail on purpose::
+
+    _SITE_APPEND = register_fault_site(
+        "store.append", "raised while appending a record")
+
+    def append(self, ...):
+        fault_point("store.append")
+        ...
+
+With no plan installed a :func:`fault_point` call is one module-global
+read plus a ``None`` check — cheap enough to leave on hot paths
+(``BENCH_runtime.json`` enforces a <= 2% overhead ceiling for the
+disabled case).  Tests and the CI fault-smoke job install a
+:class:`FaultPlan`: a seeded schedule of which sites fail, how often,
+and with what exception.  Every decision comes from a per-site
+``random.Random`` stream derived from ``(plan seed, site name)`` via
+CRC32 — *not* ``hash()`` — so a plan replays identically across
+processes regardless of ``PYTHONHASHSEED``.
+
+Sites form a registry mirroring the solver-plugin idiom of
+:mod:`repro.api.registry`: duplicate registration is an error, and a
+plan naming an unknown site fails fast at construction with a
+did-you-mean suggestion instead of silently never firing.
+"""
+
+from __future__ import annotations
+
+import difflib
+import random
+import threading
+import zlib
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from ..core.types import ConfigurationError
+from .retry import TransientError
+
+__all__ = [
+    "FaultError",
+    "UnknownFaultSiteError",
+    "DuplicateFaultSiteError",
+    "FaultSiteRegistry",
+    "FAULT_SITES",
+    "register_fault_site",
+    "FaultSpec",
+    "FaultPlan",
+    "fault_point",
+    "active_plan",
+    "installed",
+]
+
+
+class FaultError(TransientError):
+    """Default exception an injected fault raises.
+
+    Subclasses :class:`~repro.runtime.retry.TransientError` because
+    injected faults model transient infrastructure failures — the
+    retry/breaker machinery must treat them exactly like the real
+    thing.
+    """
+
+
+class UnknownFaultSiteError(ConfigurationError):
+    """A :class:`FaultPlan` named a site nothing registered."""
+
+
+class DuplicateFaultSiteError(ConfigurationError):
+    """Two modules tried to claim the same fault-site name."""
+
+
+@dataclass(frozen=True)
+class FaultSite:
+    """One registered injection site."""
+
+    name: str
+    summary: str = ""
+
+
+class FaultSiteRegistry:
+    """Thread-safe catalogue of the fault points compiled into the tree.
+
+    Mirrors :class:`repro.api.registry.SolverRegistry`: duplicate names
+    are configuration errors, unknown lookups fail with a did-you-mean
+    suggestion.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._sites: Dict[str, FaultSite] = {}
+
+    def register(self, name: str, summary: str = "") -> str:
+        """Register *name*; returns it so call sites can keep the str."""
+        if not name or not isinstance(name, str):
+            raise ConfigurationError("fault-site name must be a non-empty "
+                                     "string")
+        with self._lock:
+            if name in self._sites:
+                raise DuplicateFaultSiteError(
+                    f"fault site {name!r} is already registered — sites "
+                    f"are module-level singletons, register each once")
+            self._sites[name] = FaultSite(name=name, summary=summary)
+        return name
+
+    def get(self, name: str) -> FaultSite:
+        with self._lock:
+            site = self._sites.get(name)
+            known = tuple(self._sites)
+        if site is not None:
+            return site
+        hint = ""
+        close = difflib.get_close_matches(name, known, n=1)
+        if close:
+            hint = f" — did you mean {close[0]!r}?"
+        raise UnknownFaultSiteError(
+            f"unknown fault site {name!r}; registered sites: "
+            f"{', '.join(sorted(known)) or '(none)'}{hint}")
+
+    def names(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._sites))
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._sites
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sites)
+
+
+#: Process-wide site catalogue (sites self-register at import time).
+FAULT_SITES = FaultSiteRegistry()
+
+
+def register_fault_site(name: str, summary: str = "") -> str:
+    """Module-level helper: register *name* with :data:`FAULT_SITES`."""
+    return FAULT_SITES.register(name, summary)
+
+
+def _default_error(site: str) -> BaseException:
+    return FaultError(f"injected fault at {site!r}")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One site's failure schedule inside a :class:`FaultPlan`.
+
+    ``probability`` is evaluated per pass from the plan's seeded
+    stream; ``after`` skips the first N passes; ``times`` caps how many
+    faults the spec may raise in total (``None`` = unlimited).
+    ``error`` builds the exception from the site name — override it to
+    inject ``OSError`` for I/O sites or any crash shape a test needs.
+    """
+
+    site: str
+    probability: float = 1.0
+    times: Optional[int] = None
+    after: int = 0
+    error: Callable[[str], BaseException] = field(default=_default_error)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError(
+                f"fault probability must be in [0, 1], got "
+                f"{self.probability!r} for site {self.site!r}")
+        if self.times is not None and self.times < 0:
+            raise ConfigurationError(
+                f"fault times must be >= 0, got {self.times!r}")
+        if self.after < 0:
+            raise ConfigurationError(
+                f"fault after must be >= 0, got {self.after!r}")
+
+
+class _SiteState:
+    """Mutable per-site bookkeeping (guarded by the plan lock)."""
+
+    __slots__ = ("spec", "rng", "passes", "fired")
+
+    def __init__(self, spec: FaultSpec, seed: int) -> None:
+        self.spec = spec
+        # CRC32, not hash(): stable across processes/PYTHONHASHSEED.
+        self.rng = random.Random(seed ^ zlib.crc32(spec.site.encode()))
+        self.passes = 0
+        self.fired = 0
+
+
+class FaultPlan:
+    """A seeded, deterministic schedule of injected failures.
+
+    Construction validates every named site against
+    :data:`FAULT_SITES`.  Thread-safe: pass counting and firing
+    decisions happen under one lock, and per-site decision streams are
+    independent so adding a spec never perturbs another site's replay.
+    """
+
+    def __init__(self, seed: int, specs: Tuple[FaultSpec, ...] = ()) -> None:
+        self.seed = int(seed)
+        self._lock = threading.Lock()
+        self._states: Dict[str, _SiteState] = {}
+        for spec in specs:
+            FAULT_SITES.get(spec.site)  # raises UnknownFaultSiteError
+            if spec.site in self._states:
+                raise ConfigurationError(
+                    f"fault plan names site {spec.site!r} twice")
+            self._states[spec.site] = _SiteState(spec, self.seed)
+
+    @property
+    def sites(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._states))
+
+    def check(self, site: str) -> None:
+        """Called by :func:`fault_point`; raises when the site fires."""
+        state = self._states.get(site)
+        if state is None:
+            return
+        with self._lock:
+            state.passes += 1
+            spec = state.spec
+            if state.passes <= spec.after:
+                return
+            if spec.times is not None and state.fired >= spec.times:
+                return
+            if spec.probability < 1.0 and \
+                    state.rng.random() >= spec.probability:
+                return
+            state.fired += 1
+        raise spec.error(site)
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-site ``{"passes": ..., "fired": ...}`` counters."""
+        with self._lock:
+            return {name: {"passes": state.passes, "fired": state.fired}
+                    for name, state in self._states.items()}
+
+    @contextmanager
+    def installed(self) -> Iterator["FaultPlan"]:
+        """Activate this plan for the dynamic extent of the block."""
+        previous = install(self)
+        try:
+            yield self
+        finally:
+            install(previous)
+
+
+_ACTIVE_LOCK = threading.Lock()
+_ACTIVE: Optional[FaultPlan] = None
+
+
+def install(plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
+    """Install *plan* process-wide; returns the previously active plan."""
+    global _ACTIVE
+    with _ACTIVE_LOCK:
+        previous = _ACTIVE
+        _ACTIVE = plan
+    return previous
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The currently installed plan, if any."""
+    return _ACTIVE
+
+
+@contextmanager
+def installed(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Function-form of :meth:`FaultPlan.installed`."""
+    with plan.installed():
+        yield plan
+
+
+def fault_point(site: str) -> None:
+    """Evaluate fault site *site* against the active plan (if any).
+
+    The disabled path — no plan installed — is a single global read
+    and a ``None`` test; production leaves these calls compiled in.
+    """
+    plan = _ACTIVE
+    if plan is not None:
+        plan.check(site)

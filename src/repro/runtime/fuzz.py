@@ -1,0 +1,164 @@
+"""Time-boxed differential fuzzer for the runtime substrate.
+
+Generates random mapping problems and diffs three ways of answering
+each one, as canonical JSON:
+
+* **cold** — an uncached engine running the solver directly;
+* **cached** — a memoizing engine asked twice (second answer must be
+  canonically identical to its first);
+* **store-recovered** — solutions persisted to a
+  :class:`~repro.runtime.store.SolutionStore`, the store file damaged
+  at a random offset (torn tail or bit flip), reopened, and re-asked —
+  recovered hits and re-solved losses alike must match the cold answer.
+
+Any divergence prints the offending case (layer, array, scheme, seed)
+and exits 1.  CI runs a ~30 s budget
+(``python -m repro.runtime.fuzz --budget-s 30``); the seed makes every
+run replayable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from ..api.engine import MappingEngine
+from ..api.request import MappingRequest
+from ..api.response import solution_to_dict
+from ..core.array import PIMArray
+from ..core.layer import ConvLayer
+from ..core.types import ReproError
+from .store import SolutionStore
+
+__all__ = ["fuzz_once", "main"]
+
+
+def _random_case(rng: random.Random,
+                 schemes: Sequence[str]) -> List[MappingRequest]:
+    """A random mini-network mapped onto a random array."""
+    array = PIMArray(rng.choice([64, 128, 256, 512, 768]),
+                     rng.choice([64, 128, 256, 512]))
+    requests = []
+    for _ in range(rng.randint(1, 4)):
+        kernel = rng.choice([1, 3, 5, 7])
+        ifm = rng.randint(kernel, 56)
+        layer = ConvLayer.square(ifm, kernel,
+                                 rng.choice([3, 16, 64, 128, 256]),
+                                 rng.choice([16, 64, 128, 256]),
+                                 stride=rng.choice([1, 1, 1, 2]))
+        requests.append(MappingRequest(layer=layer, array=array,
+                                       scheme=rng.choice(list(schemes))))
+    return requests
+
+
+def _canonical(engine: MappingEngine,
+               requests: Sequence[MappingRequest]) -> str:
+    """Canonical JSON of every request's outcome.
+
+    Typed failures (an infeasible window geometry raises
+    :class:`~repro.core.types.MappingError`, say) are outcomes too —
+    every path must agree on *which* typed error a case produces, so
+    they are canonicalised instead of aborting the fuzz run.
+    """
+    payload = []
+    for request in requests:
+        try:
+            payload.append(solution_to_dict(engine.map(request).solution))
+        except ReproError as error:
+            payload.append({"error": type(error).__name__,
+                            "message": str(error)})
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _damage(path: Path, rng: random.Random) -> str:
+    """Corrupt the store file at a random offset; returns a label."""
+    raw = bytearray(path.read_bytes())
+    if not raw:
+        return "empty"
+    offset = rng.randrange(len(raw))
+    if rng.random() < 0.5:
+        path.write_bytes(bytes(raw[:offset]))
+        return f"truncated at byte {offset}/{len(raw)}"
+    raw[offset] ^= rng.randint(1, 255)
+    path.write_bytes(bytes(raw))
+    return f"bit-flipped byte {offset}/{len(raw)}"
+
+
+def fuzz_once(rng: random.Random, tmp_dir: Path) -> Optional[str]:
+    """One differential case; returns a mismatch description or None."""
+    schemes = MappingEngine().schemes()
+    requests = _random_case(rng, schemes)
+    case = "; ".join(f"{r.scheme} {r.layer.ifm_h}x{r.layer.ifm_w}"
+                     f"/k{r.layer.kernel_h}s{r.layer.stride}"
+                     f"/{r.layer.in_channels}->{r.layer.out_channels}"
+                     f" on {r.array.rows}x{r.array.cols}"
+                     for r in requests)
+
+    cold = _canonical(MappingEngine(cache_size=0), requests)
+
+    cached_engine = MappingEngine()
+    first = _canonical(cached_engine, requests)
+    second = _canonical(cached_engine, requests)
+    if first != cold:
+        return f"cached(first) != cold for [{case}]"
+    if second != cold:
+        return f"cached(memo hit) != cold for [{case}]"
+
+    store_path = tmp_dir / f"fuzz-{rng.randrange(1 << 30)}.jsonl"
+    with SolutionStore(store_path) as store:
+        persisted = _canonical(MappingEngine(cache_size=0, store=store),
+                               requests)
+    if persisted != cold:
+        return f"store-backed != cold for [{case}]"
+    damage = _damage(store_path, rng)
+    with SolutionStore(store_path) as store:
+        recovered = _canonical(MappingEngine(cache_size=0, store=store),
+                               requests)
+    store_path.unlink(missing_ok=True)
+    if recovered != cold:
+        return (f"store-recovered != cold for [{case}] "
+                f"(store {damage})")
+    return None
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime.fuzz",
+        description="differential fuzz: cold vs cached vs "
+                    "store-recovered solutions")
+    parser.add_argument("--budget-s", type=float, default=30.0,
+                        help="wall-clock budget in seconds (default 30)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="RNG seed (default 0)")
+    parser.add_argument("--max-cases", type=int, default=None,
+                        help="optional cap on generated cases")
+    args = parser.parse_args(argv)
+
+    rng = random.Random(args.seed)
+    cases = 0
+    start = time.monotonic()
+    with tempfile.TemporaryDirectory(prefix="repro-fuzz-") as tmp:
+        tmp_dir = Path(tmp)
+        while time.monotonic() - start < args.budget_s:
+            if args.max_cases is not None and cases >= args.max_cases:
+                break
+            mismatch = fuzz_once(rng, tmp_dir)
+            cases += 1
+            if mismatch is not None:
+                print(f"FAIL after {cases} case(s), seed {args.seed}: "
+                      f"{mismatch}")
+                return 1
+    elapsed = time.monotonic() - start
+    print(f"ok: {cases} differential case(s) in {elapsed:.1f}s, "
+          f"seed {args.seed} — cold, cached and store-recovered "
+          f"solutions all canonically identical")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI
+    raise SystemExit(main())

@@ -1,0 +1,37 @@
+"""REP008 seeds: catch-all handlers outside the runtime substrate."""
+
+
+def swallow_everything(fn):
+    try:
+        return fn()
+    except:  # expect: REP008
+        return None
+
+
+def swallow_exception(fn):
+    try:
+        return fn()
+    except Exception:  # expect: REP008
+        return None
+
+
+def swallow_base(fn):
+    try:
+        return fn()
+    except BaseException as error:  # expect: REP008
+        return error
+
+
+def swallow_in_tuple(fn):
+    try:
+        return fn()
+    except (ValueError, Exception):  # expect: REP008
+        return None
+
+
+def swallow_qualified(fn):
+    import builtins
+    try:
+        return fn()
+    except builtins.Exception:  # expect: REP008
+        return None

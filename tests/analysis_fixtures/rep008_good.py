@@ -1,0 +1,37 @@
+"""REP008 near-misses: typed handlers the rule must stay silent on."""
+
+
+class FakeReproError(RuntimeError):
+    pass
+
+
+class FakeConfigurationError(FakeReproError):
+    pass
+
+
+def typed_single(fn):
+    try:
+        return fn()
+    except FakeConfigurationError:
+        return None
+
+
+def typed_tuple(fn):
+    try:
+        return fn()
+    except (FakeReproError, OSError, TimeoutError):
+        return None
+
+
+def reraise_boundary(fn):
+    try:
+        return fn()
+    except FakeReproError as error:
+        raise RuntimeError("boundary") from error
+
+
+def cleanup_without_catching(fn):
+    try:
+        return fn()
+    finally:
+        pass

@@ -2,11 +2,53 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro import ConvLayer, PIMArray
 from repro.networks import resnet18, vgg13
+
+
+@pytest.fixture(scope="session", autouse=True)
+def fault_smoke(tmp_path_factory):
+    """CI fault-injection smoke mode (``REPRO_FAULT_SMOKE=1``).
+
+    Installs a seeded :class:`~repro.runtime.faults.FaultPlan` (store
+    I/O errors + backend crashes) for the whole session and swaps the
+    process-wide default engine for one carrying the full runtime
+    substrate — persistent store and an always-on circuit breaker.
+    Everything routed through ``default_engine()`` then runs with
+    faults firing underneath; the suite must still pass, because the
+    substrate's contract is that injected faults never change answers.
+
+    Inert without the environment variable (zero cost for local runs).
+    ``REPRO_FAULT_SEED`` overrides the plan seed.
+    """
+    if not os.environ.get("REPRO_FAULT_SMOKE"):
+        yield
+        return
+    from repro.api.engine import MappingEngine, set_default_engine
+    from repro.runtime import FaultPlan, FaultSpec, SolutionStore
+
+    seed = int(os.environ.get("REPRO_FAULT_SEED", "20260808"))
+    plan = FaultPlan(seed=seed, specs=(
+        FaultSpec("store.append", probability=0.05,
+                  error=lambda s: OSError(f"injected EIO at {s}")),
+        FaultSpec("store.read", probability=0.05,
+                  error=lambda s: OSError(f"injected EIO at {s}")),
+        FaultSpec("backend.geo_cycles", probability=0.02),
+        FaultSpec("backend.finish", probability=0.02),
+    ))
+    store = SolutionStore(
+        tmp_path_factory.mktemp("fault-smoke") / "solutions.jsonl")
+    engine = MappingEngine(breaker=True, store=store)
+    set_default_engine(engine)
+    with plan.installed():
+        yield
+    set_default_engine(None)
+    store.close()
 
 
 @pytest.fixture

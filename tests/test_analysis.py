@@ -165,7 +165,7 @@ def test_registry_disable_by_id_or_name():
 def test_default_registry_ships_the_documented_rules():
     assert {r.id for r in DEFAULT_RULES} >= {
         "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
-        "REP007"}
+        "REP007", "REP008"}
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,110 @@
+"""The perf-regression guard fails loudly on missing/malformed artifacts.
+
+``benchmarks/check_regressions.py`` is CI's last line against silently
+shipping a perf regression — so the guard itself must not pass
+silently when an artifact is deleted, truncated, or schema-broken.
+These tests drive it against synthetic benchmark directories.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def _load(name, path):
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+guard = _load("_check_regressions", REPO / "benchmarks/check_regressions.py")
+bench_conftest = _load("_bench_schema", REPO / "benchmarks/conftest.py")
+
+
+def good_payload(**overrides):
+    payload = bench_conftest.bench_payload("toy", 1.0, 0.1, floor=5.0)
+    payload.update(overrides)
+    return payload
+
+
+def write(bench_dir, name, payload):
+    (bench_dir / name).write_text(json.dumps(payload))
+
+
+def test_clean_directory_passes(tmp_path):
+    write(tmp_path, "BENCH_toy.json", good_payload())
+    guard.check_artifacts(tmp_path, expected=("BENCH_toy.json",))
+    assert guard.main([str(tmp_path)]) == 0
+
+
+def test_missing_expected_artifact_is_a_named_error(tmp_path):
+    write(tmp_path, "BENCH_toy.json", good_payload())
+    with pytest.raises(guard.BenchArtifactError) as err:
+        guard.check_artifacts(
+            tmp_path, expected=("BENCH_toy.json", "BENCH_gone.json"))
+    assert any("BENCH_gone.json" in p and "missing" in p
+               for p in err.value.problems)
+    # The CLI form: expected names listed after the directory.
+    assert guard.main([str(tmp_path), "BENCH_toy.json",
+                       "BENCH_gone.json"]) == 1
+
+
+def test_malformed_json_is_a_named_error(tmp_path):
+    (tmp_path / "BENCH_toy.json").write_text("{not json")
+    with pytest.raises(guard.BenchArtifactError) as err:
+        guard.check_artifacts(tmp_path, expected=("BENCH_toy.json",))
+    assert any("not valid JSON" in p for p in err.value.problems)
+
+
+def test_non_object_payload_is_a_named_error(tmp_path):
+    (tmp_path / "BENCH_toy.json").write_text("[1, 2, 3]")
+    with pytest.raises(guard.BenchArtifactError) as err:
+        guard.check_artifacts(tmp_path, expected=("BENCH_toy.json",))
+    assert any("JSON object" in p for p in err.value.problems)
+
+
+def test_regressed_floor_fails(tmp_path):
+    write(tmp_path, "BENCH_toy.json", good_payload(speedup=1.5))
+    with pytest.raises(guard.BenchArtifactError) as err:
+        guard.check_artifacts(tmp_path, expected=("BENCH_toy.json",))
+    assert any("regressed below" in p for p in err.value.problems)
+
+
+def test_overhead_ceiling_is_enforced(tmp_path):
+    overhead = {"with_s": 1.06, "without_s": 1.0,
+                "ratio": 1.06, "ceiling": 1.02}
+    write(tmp_path, "BENCH_toy.json", good_payload(overhead=overhead))
+    with pytest.raises(guard.BenchArtifactError) as err:
+        guard.check_artifacts(tmp_path, expected=("BENCH_toy.json",))
+    assert any("overhead ratio" in p for p in err.value.problems)
+
+
+def test_overhead_object_requires_all_keys(tmp_path):
+    write(tmp_path, "BENCH_toy.json",
+          good_payload(overhead={"ratio": 1.0}))
+    with pytest.raises(guard.BenchArtifactError) as err:
+        guard.check_artifacts(tmp_path, expected=("BENCH_toy.json",))
+    missing = {p for p in err.value.problems if "overhead." in p}
+    assert len(missing) == 3  # with_s, without_s, ceiling
+
+
+def test_main_reports_problems_and_exits_nonzero(tmp_path, capsys):
+    (tmp_path / "BENCH_toy.json").write_text("{not json")
+    assert guard.main([str(tmp_path)]) == 1
+    assert "perf-regression guard failed" in capsys.readouterr().err
+
+
+def test_committed_artifacts_all_pass():
+    guard.check_artifacts(REPO / "benchmarks")
+
+
+def test_expected_set_matches_the_committed_tree():
+    present = sorted(p.name
+                     for p in (REPO / "benchmarks").glob("BENCH_*.json"))
+    assert present == sorted(guard.EXPECTED_ARTIFACTS)

@@ -196,3 +196,44 @@ class TestDseCommand:
                      ["--sides", "0,64"], ["--max-cells", "0"]):
             with pytest.raises(SystemExit):
                 main(["dse", "sweep", "resnet18"] + argv)
+
+
+class TestRuntimeFlags:
+    def test_map_store_persists_and_replays(self, capsys, tmp_path):
+        store = tmp_path / "solutions.jsonl"
+        argv = ["map", "--ifm", "14", "--ic", "256", "--oc", "256",
+                "--store", str(store)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert store.stat().st_size > 0    # the solution was persisted
+        assert main(argv) == 0             # fresh process-equivalent run
+        assert capsys.readouterr().out == cold
+
+    def test_network_store_flag(self, capsys, tmp_path):
+        store = tmp_path / "solutions.jsonl"
+        assert main(["network", "resnet18", "--store", str(store)]) == 0
+        assert "totals:" in capsys.readouterr().out
+        assert store.stat().st_size > 0
+
+    def test_unopenable_store_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="--store"):
+            main(["map", "--ifm", "14", "--ic", "256", "--oc", "256",
+                  "--store", str(tmp_path)])    # a directory, not a file
+
+    def test_chip_sweep_deadline_exceeded_exits_3(self, capsys):
+        code = main(["chip", "sweep", "resnet18",
+                     "--deadline-ms", "0.0001"])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "deadline exceeded" in err
+        assert "probes finished" in err    # best-so-far progress line
+
+    def test_bad_deadline_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="--deadline-ms"):
+            main(["chip", "sweep", "resnet18", "--deadline-ms", "-5"])
+
+    def test_repro_error_exits_2(self, capsys):
+        code = main(["chip", "plan", "resnet18", "--arrays", "1"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("vwsdk: ")   # typed one-liner, no traceback

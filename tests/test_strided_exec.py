@@ -5,6 +5,7 @@ import pytest
 
 from repro import ConfigurationError, ConvLayer, PIMArray, ParallelWindow
 from repro.core.strided import StridedWindow, search_strided, strided_breakdown
+from repro.core.types import MappingError
 from repro.core.strided import StridedSolution
 from repro.mapping import build_strided_plan
 from repro.pim import PIMEngine, conv2d_reference
@@ -81,7 +82,7 @@ class TestStridedPlanExecution:
                 window = StridedWindow(nw_h=nw_h, nw_w=nw_w)
                 try:
                     bd = strided_breakdown(layer, arr, window)
-                except Exception:
+                except MappingError:  # window infeasible on this array
                     continue
                 solution = StridedSolution(layer=layer, array=arr,
                                            window=window, breakdown=bd)
