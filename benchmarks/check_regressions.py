@@ -39,6 +39,7 @@ EXPECTED_ARTIFACTS = (
     "BENCH_chip.json",
     "BENCH_chip_pareto.json",
     "BENCH_dse.json",
+    "BENCH_fidelity.json",
     "BENCH_lattice.json",
     "BENCH_runtime.json",
 )

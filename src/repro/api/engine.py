@@ -84,6 +84,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from ..chip.sweep import ChipLattice, ChipSweep
     from ..core.cost import CostParams
     from ..dse.pareto import ChipDesignPoint
+    from ..pim.replay import FidelityReport, FidelitySpec
 
 __all__ = ["MappingEngine", "default_engine", "set_default_engine"]
 
@@ -796,7 +797,8 @@ class MappingEngine:
                     max_cells: int = 512 * 512,
                     sides: Optional[Sequence[int]] = None,
                     max_arrays: Optional[int] = None,
-                    target_bottleneck: Optional[int] = None
+                    target_bottleneck: Optional[int] = None,
+                    fidelity: Optional[object] = None
                     ) -> List["ChipDesignPoint"]:
         """Cells / energy / latency frontier of chip deployments.
 
@@ -805,6 +807,9 @@ class MappingEngine:
         from the shared memos.  ``pools=True`` adds the heterogeneous
         best-fit plan (:mod:`repro.chip.pools`) to the candidate set;
         its frontier then dominates-or-equals the homogeneous one.
+        *fidelity* (anything
+        :meth:`repro.pim.replay.FidelitySpec.of` accepts) attaches the
+        noise-aware ``accuracy_proxy`` via :meth:`point_fidelity`.
 
         >>> engine = MappingEngine()
         >>> from repro.networks import resnet18
@@ -818,7 +823,55 @@ class MappingEngine:
                            cost_params=cost_params, max_cells=max_cells,
                            sides=sides, max_arrays=max_arrays,
                            target_bottleneck=target_bottleneck,
-                           engine=self)
+                           fidelity=fidelity, engine=self)
+
+    def point_fidelity(self, solutions: Sequence[MappingSolution],
+                       fidelity: Optional[object] = None
+                       ) -> "FidelityReport":
+        """Memoized functional replay of one deployment plan.
+
+        Replays the per-stage *solutions* (a
+        :attr:`~repro.dse.pareto.ChipDesignPoint.solutions` tuple)
+        through the functional :class:`~repro.pim.engine.PIMEngine`
+        under the noise model of *fidelity* (anything
+        :meth:`repro.pim.replay.FidelitySpec.of` accepts) and returns
+        the :class:`~repro.pim.replay.FidelityReport`.  Reports are
+        memoized in the engine's sweep cache keyed by the spec (noise
+        model + input seed) and each stage's ``(scheme, registry
+        version, layer geometry, array shape)`` — many
+        :meth:`chip_pareto` points share one plan, so a whole
+        ``fidelity=`` frontier typically costs a handful of replays.
+
+        >>> engine = MappingEngine()
+        >>> from repro.networks import resnet18
+        >>> front = engine.chip_pareto(
+        ...     resnet18(), [PIMArray.square(512)])
+        >>> engine.point_fidelity(front[0].solutions).accuracy_proxy
+        1.0
+        """
+        from ..pim.replay import FidelitySpec, replay_point
+        spec = FidelitySpec.of(fidelity)
+        stages = tuple(solutions)
+        if not stages:
+            raise ConfigurationError(
+                "point_fidelity needs at least one per-stage solution; "
+                "got an empty plan")
+        key = ("fidelity", spec,
+               tuple(self._fidelity_stage_key(sol) for sol in stages))
+        return self._sweeps.get_or_compute(
+            key, lambda: replay_point(stages, noise=spec.noise,
+                                      seed=spec.seed))
+
+    def _fidelity_stage_key(self, solution: MappingSolution) -> tuple:
+        """Memo-key fragment for one replayed stage: solver identity
+        plus the functional geometry (layer + array shape).  Excludes
+        display-only attributes so renamed layers share replays."""
+        layer, array = solution.layer, solution.array
+        return (solution.scheme, self.registry.version(solution.scheme),
+                (layer.ifm_h, layer.ifm_w, layer.kernel_h, layer.kernel_w,
+                 layer.in_channels, layer.out_channels, layer.stride,
+                 layer.padding),
+                (array.rows, array.cols))
 
     # ------------------------------------------------------------------
     # Introspection / management

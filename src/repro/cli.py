@@ -179,6 +179,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_pareto.add_argument("--target-bottleneck", type=int, default=None,
                           help="keep only plans meeting this "
                                "steady-state cycle target")
+    p_pareto.add_argument("--fidelity", type=float, default=None,
+                          metavar="SIGMA",
+                          help="replay each frontier point through the "
+                               "functional PIM engine under lognormal "
+                               "conductance noise of this sigma (0 = "
+                               "noise-free bit-exactness check) and "
+                               "print the accuracy proxy column")
     p_pareto.add_argument("--backend", default="auto",
                           choices=("auto", "numpy", "numba"),
                           help="lattice compute backend (auto = numba "
@@ -425,12 +432,20 @@ def _cmd_chip_pareto(args: argparse.Namespace) -> int:
     except ValueError as error:
         raise SystemExit(f"chip pareto: {error}") from None
     from .core import ConfigurationError
+    fidelity = None
+    if args.fidelity is not None:
+        from .pim.replay import FidelitySpec
+        try:
+            fidelity = FidelitySpec.of(args.fidelity)
+        except ConfigurationError as error:
+            raise SystemExit(f"chip pareto: {error}") from None
     try:
         front = chip_pareto(network, scheme=args.scheme, pools=args.pools,
                             cost_params=cost_params,
                             max_cells=args.max_cells, sides=sides,
                             max_arrays=args.max_arrays,
                             target_bottleneck=args.target_bottleneck,
+                            fidelity=fidelity,
                             engine=_engine_for(args.backend))
     except (InfeasibleTargetError, ConfigurationError) as error:
         # ConfigurationError covers e.g. --sides entries that all
@@ -441,6 +456,9 @@ def _cmd_chip_pareto(args: argparse.Namespace) -> int:
              "bottleneck": p.bottleneck_cycles,
              "latency (us)": round(p.latency_us, 2)}
             for p in front]
+    if fidelity is not None:
+        for row, point in zip(rows, front):
+            row["accuracy"] = round(point.accuracy_proxy, 4)
     mode = "heterogeneous pools" if args.pools else "homogeneous"
     print(format_table(
         rows, title=f"{network.name} chip cells/energy/latency frontier "
@@ -450,6 +468,9 @@ def _cmd_chip_pareto(args: argparse.Namespace) -> int:
           + (f" ({mixed} from the mixed pool plan)" if args.pools else "")
           + "; energy is per-inference compute energy (Section II: "
             "conversions dominate)")
+    if fidelity is not None:
+        print(f"accuracy = functional PIM replay proxy under "
+              f"{fidelity.describe()} (1.0 = bit-exact)")
     return 0
 
 

@@ -41,7 +41,7 @@ closed-form breakpoint budgets, and the 3-D minimising front of
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import (Callable, Dict, List, Optional, Sequence, Tuple,
                     TypeVar, Union)
 
@@ -250,7 +250,10 @@ class ChipDesignPoint:
     steady-state pipeline bottleneck.  ``solutions`` carries the
     per-stage mappings so any point can be replayed through the scalar
     ``plan_pipeline`` + ``cost_report`` oracles (the property tests
-    do exactly that).
+    do exactly that).  ``accuracy_proxy`` is populated only when
+    :func:`chip_pareto` ran with ``fidelity=``: the functional-replay
+    score of :mod:`repro.pim.replay` (1.0 = bit-exact under the
+    requested noise model).
     """
 
     pool: str
@@ -261,6 +264,7 @@ class ChipDesignPoint:
     latency_us: float
     solutions: Tuple[MappingSolution, ...] = field(
         default=(), repr=False, compare=False)
+    accuracy_proxy: Optional[float] = field(default=None, compare=False)
 
     @property
     def objectives(self) -> Tuple[int, float, int]:
@@ -286,6 +290,7 @@ def chip_pareto(network: Network,
                 sides: Optional[Sequence[int]] = None,
                 max_arrays: Optional[int] = None,
                 target_bottleneck: Optional[int] = None,
+                fidelity: Optional[object] = None,
                 engine: Optional[MappingEngine] = None
                 ) -> List[ChipDesignPoint]:
     """Cells / energy / latency frontier of chip deployments.
@@ -315,6 +320,17 @@ def chip_pareto(network: Network,
     along a (homogeneous) frontier every extra cell buys strictly
     fewer bottleneck cycles or strictly less energy.
 
+    *fidelity* opens the fourth (accuracy) axis: anything accepted by
+    :meth:`repro.pim.replay.FidelitySpec.of` — ``True`` / a
+    :class:`~repro.pim.replay.FidelitySpec` / a noise model / a
+    lognormal sigma — replays every frontier point's per-stage
+    solutions through the functional :class:`~repro.pim.engine.PIMEngine`
+    (memoized per distinct plan on the engine) and attaches the
+    resulting ``accuracy_proxy``.  Under
+    :class:`~repro.pim.noise.NoNoise` the replay is asserted bit-exact
+    against the :mod:`repro.pim.reference` oracle, so every proxy is
+    exactly ``1.0``; noisy models score lower as perturbation grows.
+
     >>> from repro.core import PIMArray
     >>> from repro.networks import resnet18
     >>> front = chip_pareto(resnet18(),
@@ -323,6 +339,12 @@ def chip_pareto(network: Network,
     ('256x256', 57, 2809)
     >>> front[-1].bottleneck_cycles
     1
+    >>> front[0].accuracy_proxy is None
+    True
+    >>> front = chip_pareto(resnet18(), [PIMArray.square(512)],
+    ...                     fidelity=True)
+    >>> {point.accuracy_proxy for point in front}
+    {1.0}
     """
     from .requirements import InfeasibleTargetError
     if target_bottleneck is not None and target_bottleneck < 1:
@@ -395,6 +417,12 @@ def chip_pareto(network: Network,
         seen.add(point.objectives)
         front.append(point)
     front.sort(key=lambda p: (p.cells, -p.bottleneck_cycles, p.energy_nj))
+    if fidelity is not None and fidelity is not False:
+        from ..pim.replay import FidelitySpec
+        spec = FidelitySpec.of(fidelity)
+        front = [replace(point, accuracy_proxy=eng.point_fidelity(
+                     point.solutions, spec).accuracy_proxy)
+                 for point in front]
     return front
 
 

@@ -27,6 +27,14 @@ from .grouped_exec import (
 )
 from .noise import ComposedNoise, LognormalNoise, NoNoise, StuckCells, make_noise
 from .reference import conv2d_naive, conv2d_reference, pad_ifm
+from .replay import (
+    FidelityReport,
+    FidelitySpec,
+    StageFidelity,
+    replay_point,
+    replay_stage,
+    stage_inputs,
+)
 from .trace import CycleRecord, ExecutionTrace
 
 __all__ = [
@@ -59,4 +67,10 @@ __all__ = [
     "run_grouped",
     "CycleRecord",
     "ExecutionTrace",
+    "FidelitySpec",
+    "StageFidelity",
+    "FidelityReport",
+    "replay_stage",
+    "replay_point",
+    "stage_inputs",
 ]

@@ -1,61 +1,240 @@
-"""Time-boxed differential fuzzer for the runtime substrate.
+"""Time-boxed differential fuzzer over every planning surface.
 
-Generates random mapping problems and diffs three ways of answering
-each one, as canonical JSON:
+PR 8's fuzzer diffed one surface — ``engine.map`` answered cold,
+cached and store-recovered.  This module generalises it into a
+pluggable **surface registry** (mirroring
+:class:`repro.api.registry.SolverRegistry`): each surface is a named
+runner that generates one random case and diffs a fast path against a
+scalar oracle, and the wall-clock budget is split evenly across all
+registered surfaces.
 
-* **cold** — an uncached engine running the solver directly;
-* **cached** — a memoizing engine asked twice (second answer must be
-  canonically identical to its first);
-* **store-recovered** — solutions persisted to a
-  :class:`~repro.runtime.store.SolutionStore`, the store file damaged
-  at a random offset (torn tail or bit flip), reopened, and re-asked —
-  recovered hits and re-solved losses alike must match the cold answer.
+Built-in surfaces:
 
-Any divergence prints the offending case (layer, array, scheme, seed)
-and exits 1.  CI runs a ~30 s budget
-(``python -m repro.runtime.fuzz --budget-s 30``); the seed makes every
-run replayable.
+* ``map`` — cold vs cached vs store-recovered canonical solution JSON
+  (the PR 8 differential, store file damaged at a random offset);
+* ``network_sweep`` — vectorized ``sweep_cycles`` over a random array
+  ladder vs per-layer cold scalar solves, typed errors canonicalised
+  per array;
+* ``chip_sweep`` — batched :class:`~repro.chip.sweep.ChipLattice`
+  probes vs the scalar ``heapq`` greedy of
+  :func:`~repro.chip.pipeline.plan_pipeline`, including the
+  infeasible-budget boundary and the cost-model columns;
+* ``chip_pareto`` — frontier invariants (sort order, pairwise
+  non-domination, pools dominance) plus per-point scalar replay of
+  bottleneck / cells / energy / latency under randomized
+  :class:`~repro.core.cost.CostParams`;
+* ``backend`` — numpy vs interpreted-numba kernels (vs JIT numba when
+  installed) on the same sweep, exact equality;
+* ``grouped`` — :func:`~repro.core.grouped.grouped_mapping` packing
+  invariants vs a direct solve of the per-group sub-layer.
+
+Every case is derived from ``(seed, surface, index)`` via
+:func:`case_seed`, so any divergence is replayable from three
+integers.  Divergences are also dumped as JSON fixtures under the
+corpus directory (``tests/fixtures/fuzz/`` by default);
+``tests/test_fuzz_corpus.py`` replays the whole corpus so every bug
+the fuzzer ever finds stays a permanent regression test.
+
+CI runs ``python -m repro.runtime.fuzz --budget-s 30 --seed 0``.
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
+import math
 import random
 import tempfile
+import threading
 import time
+from dataclasses import dataclass, field
+from difflib import get_close_matches
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple
+from typing import (Callable, Dict, Iterator, List, Optional, Sequence,
+                    Tuple, Union)
 
 from ..api.engine import MappingEngine
 from ..api.request import MappingRequest
 from ..api.response import solution_to_dict
 from ..core.array import PIMArray
 from ..core.layer import ConvLayer
-from ..core.types import ReproError
+from ..core.types import ConfigurationError, ReproError
 from .store import SolutionStore
 
-__all__ = ["fuzz_once", "main"]
+__all__ = ["SurfaceInfo", "SurfaceRegistry", "UnknownSurfaceError",
+           "DuplicateSurfaceError", "DEFAULT_SURFACES",
+           "register_surface", "case_seed", "run_case", "dump_fixture",
+           "replay_fixture", "fuzz_once", "main"]
+
+#: Default corpus directory for divergence fixtures (repo-relative).
+DEFAULT_CORPUS = Path("tests") / "fixtures" / "fuzz"
+
+
+class UnknownSurfaceError(ConfigurationError):
+    """Raised when a fuzz surface name is not registered."""
+
+
+class DuplicateSurfaceError(ConfigurationError):
+    """Raised when registering an already-registered surface name."""
+
+
+#: A surface runner: one random differential case from *rng*, scratch
+#: files under *tmp_dir*; returns a mismatch description or ``None``.
+Runner = Callable[[random.Random, Path], Optional[str]]
+
+
+@dataclass(frozen=True)
+class SurfaceInfo:
+    """Registry entry: a named differential surface."""
+
+    name: str
+    runner: Runner = field(compare=False)
+    summary: str = field(default="", compare=False)
+
+
+class SurfaceRegistry:
+    """Thread-safe name -> :class:`SurfaceInfo` registry.
+
+    Mirrors :class:`repro.api.registry.SolverRegistry`: duplicate
+    registration is an error unless ``replace=True``, and unknown
+    lookups fail with a did-you-mean suggestion.
+
+    >>> registry = SurfaceRegistry()
+    >>> @registry.register_surface("noop", summary="does nothing")
+    ... def _noop(rng, tmp_dir):
+    ...     return None
+    >>> registry.names()
+    ('noop',)
+    >>> "noop" in registry
+    True
+    """
+
+    def __init__(self) -> None:
+        self._surfaces: Dict[str, SurfaceInfo] = {}
+        self._lock = threading.Lock()
+
+    def register(self, name: str, runner: Runner, *,
+                 summary: str = "", replace: bool = False) -> None:
+        """Register *runner* under *name*."""
+        if not callable(runner):
+            raise ConfigurationError(
+                f"surface {name!r} runner must be callable, got "
+                f"{type(runner).__name__}")
+        with self._lock:
+            if name in self._surfaces and not replace:
+                raise DuplicateSurfaceError(
+                    f"fuzz surface {name!r} is already registered; pass "
+                    f"replace=True to override")
+            self._surfaces[name] = SurfaceInfo(name=name, runner=runner,
+                                               summary=summary)
+
+    def register_surface(self, name: str, *, summary: str = "",
+                         replace: bool = False
+                         ) -> Callable[[Runner], Runner]:
+        """Decorator form of :meth:`register`."""
+        def decorator(runner: Runner) -> Runner:
+            self.register(name, runner, summary=summary, replace=replace)
+            return runner
+        return decorator
+
+    def unregister(self, name: str) -> None:
+        """Remove *name*; unknown names raise."""
+        with self._lock:
+            if name not in self._surfaces:
+                raise UnknownSurfaceError(
+                    f"cannot unregister unknown fuzz surface {name!r}")
+            del self._surfaces[name]
+
+    def get(self, name: str) -> SurfaceInfo:
+        """Look up *name*, suggesting the closest match on a miss."""
+        with self._lock:
+            info = self._surfaces.get(name)
+            known = tuple(self._surfaces)
+        if info is not None:
+            return info
+        hint = get_close_matches(name, known, n=1, cutoff=0.5)
+        suggestion = f"; did you mean {hint[0]!r}?" if hint else ""
+        raise UnknownSurfaceError(
+            f"unknown fuzz surface {name!r} (known: "
+            f"{', '.join(known) or 'none'}){suggestion}")
+
+    def names(self) -> Tuple[str, ...]:
+        """Registered surface names, in registration order."""
+        with self._lock:
+            return tuple(self._surfaces)
+
+    def __contains__(self, name: object) -> bool:
+        with self._lock:
+            return name in self._surfaces
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._surfaces)
+
+
+#: The shared registry the CLI drives; import-time registrations below.
+DEFAULT_SURFACES = SurfaceRegistry()
+
+
+def register_surface(name: str, *, summary: str = "",
+                     replace: bool = False) -> Callable[[Runner], Runner]:
+    """Register a surface on :data:`DEFAULT_SURFACES` (decorator)."""
+    return DEFAULT_SURFACES.register_surface(name, summary=summary,
+                                             replace=replace)
+
+
+# ----------------------------------------------------------------------
+# Random-case generation
+# ----------------------------------------------------------------------
+def _random_layer(rng: random.Random) -> ConvLayer:
+    """A random conv layer — padded, strided, non-square, repeated.
+
+    PR 8's generator only produced square unpadded layers; every
+    geometry axis the planning stack supports is now exercised.
+    """
+    kernel_h = rng.choice([1, 3, 5, 7])
+    kernel_w = kernel_h if rng.random() < 0.8 else rng.choice([1, 3, 5])
+    padding = rng.choice([0, 0, 0, 1, 2, 3])
+    min_w = max(1, kernel_w - 2 * padding)
+    ifm_h = rng.randint(max(1, kernel_h - 2 * padding), 56)
+    ifm_w = (max(ifm_h, min_w) if rng.random() < 0.8
+             else rng.randint(min_w, 56))
+    return ConvLayer(ifm_h=ifm_h, ifm_w=ifm_w,
+                     kernel_h=kernel_h, kernel_w=kernel_w,
+                     in_channels=rng.choice([1, 3, 16, 32, 64, 128]),
+                     out_channels=rng.choice([1, 16, 32, 64, 128, 256]),
+                     stride=rng.choice([1, 1, 1, 2]),
+                     padding=padding,
+                     repeats=rng.choice([1, 1, 1, 2, 3]))
+
+
+def _random_array(rng: random.Random) -> PIMArray:
+    """A random crossbar geometry, non-square included."""
+    return PIMArray(rng.choice([64, 128, 256, 512, 768]),
+                    rng.choice([64, 128, 256, 512]))
 
 
 def _random_case(rng: random.Random,
                  schemes: Sequence[str]) -> List[MappingRequest]:
     """A random mini-network mapped onto a random array."""
-    array = PIMArray(rng.choice([64, 128, 256, 512, 768]),
-                     rng.choice([64, 128, 256, 512]))
-    requests = []
-    for _ in range(rng.randint(1, 4)):
-        kernel = rng.choice([1, 3, 5, 7])
-        ifm = rng.randint(kernel, 56)
-        layer = ConvLayer.square(ifm, kernel,
-                                 rng.choice([3, 16, 64, 128, 256]),
-                                 rng.choice([16, 64, 128, 256]),
-                                 stride=rng.choice([1, 1, 1, 2]))
-        requests.append(MappingRequest(layer=layer, array=array,
-                                       scheme=rng.choice(list(schemes))))
-    return requests
+    array = _random_array(rng)
+    return [MappingRequest(layer=_random_layer(rng), array=array,
+                           scheme=rng.choice(list(schemes)))
+            for _ in range(rng.randint(1, 4))]
 
 
+def _error_token(error: ReproError) -> str:
+    """Canonical token for a typed failure outcome."""
+    return f"error:{type(error).__name__}"
+
+
+# ----------------------------------------------------------------------
+# Surface: map (cold vs cached vs store-recovered, from PR 8)
+# ----------------------------------------------------------------------
 def _canonical(engine: MappingEngine,
                requests: Sequence[MappingRequest]) -> str:
     """Canonical JSON of every request's outcome.
@@ -89,13 +268,13 @@ def _damage(path: Path, rng: random.Random) -> str:
     return f"bit-flipped byte {offset}/{len(raw)}"
 
 
+@register_surface("map", summary="cold vs cached vs store-recovered "
+                                 "engine.map solutions")
 def fuzz_once(rng: random.Random, tmp_dir: Path) -> Optional[str]:
     """One differential case; returns a mismatch description or None."""
     schemes = MappingEngine().schemes()
     requests = _random_case(rng, schemes)
-    case = "; ".join(f"{r.scheme} {r.layer.ifm_h}x{r.layer.ifm_w}"
-                     f"/k{r.layer.kernel_h}s{r.layer.stride}"
-                     f"/{r.layer.in_channels}->{r.layer.out_channels}"
+    case = "; ".join(f"{r.scheme} {r.layer.shape_str}"
                      f" on {r.array.rows}x{r.array.cols}"
                      for r in requests)
 
@@ -126,37 +305,482 @@ def fuzz_once(rng: random.Random, tmp_dir: Path) -> Optional[str]:
     return None
 
 
+# ----------------------------------------------------------------------
+# Surface: network_sweep (vectorized lattice vs scalar oracle)
+# ----------------------------------------------------------------------
+Token = Union[int, str]
+
+
+def _vector_tokens(engine: MappingEngine, layers: Sequence[ConvLayer],
+                   arrays: Sequence[PIMArray], scheme: str,
+                   backend: object = None) -> List[Token]:
+    """Per-array cycle totals off the batched sweep, errors canonical.
+
+    When the whole-ladder call raises a typed error the ladder is
+    retried array by array, so a single infeasible geometry yields one
+    error token instead of poisoning the batch comparison.
+    """
+    try:
+        return [int(v) for v in
+                engine.sweep_cycles(layers, arrays, scheme, backend)]
+    except ReproError:
+        tokens: List[Token] = []
+        for array in arrays:
+            try:
+                tokens.append(int(engine.sweep_cycles(
+                    layers, [array], scheme, backend)[0]))
+            except ReproError as error:
+                tokens.append(_error_token(error))
+        return tokens
+
+
+def _scalar_tokens(layers: Sequence[ConvLayer],
+                   arrays: Sequence[PIMArray],
+                   scheme: str) -> List[Token]:
+    """The cold per-layer oracle for :func:`_vector_tokens`."""
+    engine = MappingEngine(cache_size=0)
+    tokens: List[Token] = []
+    for array in arrays:
+        try:
+            tokens.append(sum(engine.solve(layer, array, scheme).cycles
+                              for layer in layers))
+        except ReproError as error:
+            tokens.append(_error_token(error))
+    return tokens
+
+
+@register_surface("network_sweep",
+                  summary="vectorized sweep_cycles vs cold per-layer "
+                          "scalar solves")
+def _network_sweep_surface(rng: random.Random,
+                           tmp_dir: Path) -> Optional[str]:
+    layers = [_random_layer(rng) for _ in range(rng.randint(1, 4))]
+    arrays = [_random_array(rng) for _ in range(rng.randint(1, 5))]
+    scheme = "vw-sdk"
+    vector = _vector_tokens(MappingEngine(), layers, arrays, scheme)
+    scalar = _scalar_tokens(layers, arrays, scheme)
+    if vector != scalar:
+        case = "; ".join(layer.shape_str for layer in layers)
+        ladder = ", ".join(str(a) for a in arrays)
+        return (f"sweep_cycles != scalar oracle for [{case}] over "
+                f"[{ladder}]: {vector} vs {scalar}")
+    return None
+
+
+# ----------------------------------------------------------------------
+# Surface: chip_sweep (ChipLattice vs the heapq greedy)
+# ----------------------------------------------------------------------
+def _random_cost_params(rng: random.Random) -> "object":
+    from ..core.cost import CostParams
+    return CostParams(
+        cycle_time_ns=rng.choice([10.0, 100.0, 250.0]),
+        adc_energy_pj=round(rng.uniform(0.5, 4.0), 3),
+        dac_energy_pj=round(rng.uniform(0.01, 0.2), 4),
+        cell_energy_pj=round(rng.uniform(0.0005, 0.004), 5),
+        write_energy_pj=round(rng.uniform(2.0, 20.0), 3),
+        include_writes=rng.random() < 0.5,
+        idle_column_conversion=rng.random() < 0.5)
+
+
+@register_surface("chip_sweep",
+                  summary="batched ChipLattice probes vs the scalar "
+                          "heapq greedy (plan_pipeline)")
+def _chip_sweep_surface(rng: random.Random,
+                        tmp_dir: Path) -> Optional[str]:
+    from ..chip.config import ChipConfig
+    from ..chip.pipeline import InsufficientArraysError, plan_pipeline
+    from ..networks.layerset import Network
+
+    layers = [_random_layer(rng) for _ in range(rng.randint(1, 4))]
+    array = _random_array(rng)
+    scheme = "vw-sdk"
+    case = ("; ".join(layer.shape_str for layer in layers)
+            + f" on {array.rows}x{array.cols}")
+    params = _random_cost_params(rng) if rng.random() < 0.5 else None
+
+    engine = MappingEngine()
+    cold = MappingEngine(cache_size=0)
+    try:
+        solutions = [cold.solve(layer, array, scheme) for layer in layers]
+    except ReproError as error:
+        # Infeasible geometry: the lattice build must fail identically.
+        try:
+            engine.chip_lattice(layers, array, scheme, cost_params=params)
+        except ReproError as lattice_error:
+            if type(lattice_error) is type(error):
+                return None
+            return (f"chip_lattice raised "
+                    f"{type(lattice_error).__name__}, scalar solve "
+                    f"raised {type(error).__name__} for [{case}]")
+        return (f"chip_lattice succeeded where scalar solve raised "
+                f"{type(error).__name__} for [{case}]")
+
+    lattice = engine.chip_lattice(layers, array, scheme,
+                                  cost_params=params)
+    network = Network.from_layers("fuzz", layers)
+    floor = lattice.floor_arrays
+    counts = sorted({floor, floor + 1, floor + rng.randint(0, 64),
+                     floor * 2} | ({floor - 1} if floor > 1 else set()))
+    sweep = lattice.sweep(counts)
+    for index, count in enumerate(counts):
+        point = lattice.outcome(count)
+        probe = sweep.outcome(index)
+        try:
+            plan = plan_pipeline(network, ChipConfig(array, count),
+                                 scheme, solutions=solutions)
+            greedy = (plan.bottleneck_cycles, plan.fill_latency_cycles,
+                      plan.arrays_used)
+        except InsufficientArraysError:
+            greedy = None
+        fast = (None if point is None else
+                (point.bottleneck_cycles, point.fill_latency_cycles,
+                 point.arrays_used))
+        batched = (None if probe is None else
+                   (probe.bottleneck_cycles, probe.fill_latency_cycles,
+                    probe.arrays_used))
+        if fast != greedy:
+            return (f"lattice.outcome({count}) {fast} != greedy "
+                    f"{greedy} for [{case}]")
+        if batched != greedy:
+            return (f"lattice.sweep probe at {count} {batched} != "
+                    f"greedy {greedy} for [{case}]")
+        if params is not None and point is not None:
+            oracle = _cost_oracle(solutions, params,
+                                  point.bottleneck_cycles)
+            got = (point.cells_used, point.energy_nj, point.latency_us)
+            want = (_cells_oracle(plan), oracle[0], oracle[1])
+            if got != want:
+                return (f"costed outcome({count}) {got} != scalar "
+                        f"cost_report oracle {want} for [{case}]")
+    return None
+
+
+def _cells_oracle(plan: "object") -> int:
+    """Scalar silicon-cells oracle off a pipeline plan's allocations."""
+    return sum(a.arrays * a.solution.layer.repeats * a.solution.array.cells
+               for a in plan.allocations)
+
+
+def _cost_oracle(solutions: Sequence["object"], params: "object",
+                 bottleneck: int) -> Tuple[float, float]:
+    """(energy_nj, latency_us) exactly as the lattice computes them."""
+    import numpy as np
+    from ..core.cost import cost_report
+    stage = np.asarray([cost_report(s, params).compute_energy_nj
+                        for s in solutions], dtype=np.float64)
+    repeats = np.asarray([s.layer.repeats for s in solutions],
+                         dtype=np.int64)
+    energy = math.fsum(np.repeat(stage, repeats).tolist())
+    return energy, bottleneck * params.cycle_time_ns / 1000.0
+
+
+# ----------------------------------------------------------------------
+# Surface: chip_pareto (frontier invariants + scalar replay)
+# ----------------------------------------------------------------------
+def _dominates_or_equal(a: Tuple[float, ...], b: Tuple[float, ...]) -> bool:
+    return all(x <= y for x, y in zip(a, b))
+
+
+@register_surface("chip_pareto",
+                  summary="frontier invariants + per-point scalar "
+                          "replay under random CostParams")
+def _chip_pareto_surface(rng: random.Random,
+                         tmp_dir: Path) -> Optional[str]:
+    from ..chip.config import ChipConfig
+    from ..chip.pipeline import plan_pipeline
+    from ..dse.pareto import chip_pareto
+    from ..dse.requirements import InfeasibleTargetError
+    from ..networks.layerset import Network
+
+    layers = [_random_layer(rng) for _ in range(rng.randint(1, 3))]
+    network = Network.from_layers("fuzz", layers)
+    sides = (64, 96, 128, 192, 256)
+    geometries = []
+    for _ in range(rng.randint(2, 3)):
+        geometry = PIMArray(rng.choice(sides), rng.choice(sides))
+        if geometry not in geometries:
+            geometries.append(geometry)
+    params = _random_cost_params(rng)
+    pools = rng.random() < 0.5
+    max_arrays = rng.choice([None, rng.randint(1, 400)])
+    case = ("; ".join(layer.shape_str for layer in layers)
+            + " over [" + ", ".join(str(g) for g in geometries) + "]"
+            + (f" max_arrays={max_arrays}" if max_arrays else "")
+            + (" pools" if pools else ""))
+
+    engine = MappingEngine()
+    try:
+        front = chip_pareto(network, geometries, pools=pools,
+                            cost_params=params, max_arrays=max_arrays,
+                            engine=engine)
+    except InfeasibleTargetError:
+        return None  # a typed no-fit outcome, not a divergence
+
+    objectives = [(p.cells, p.energy_nj, p.bottleneck_cycles)
+                  for p in front]
+    ordered = sorted(range(len(front)),
+                     key=lambda k: (front[k].cells,
+                                    -front[k].bottleneck_cycles,
+                                    front[k].energy_nj))
+    if ordered != list(range(len(front))):
+        return f"chip_pareto points not sorted for [{case}]"
+    for i, a in enumerate(objectives):
+        for j, b in enumerate(objectives):
+            if i != j and _dominates_or_equal(a, b) and a != b:
+                return (f"dominated point survived: {b} loses to {a} "
+                        f"for [{case}]")
+
+    replay = front if len(front) <= 12 else rng.sample(front, 12)
+    for point in replay:
+        plan = plan_pipeline(network,
+                             ChipConfig(geometries[0], point.num_arrays),
+                             solutions=list(point.solutions))
+        energy, latency = _cost_oracle(point.solutions, params,
+                                       plan.bottleneck_cycles)
+        got = (point.bottleneck_cycles, point.cells, point.energy_nj,
+               point.latency_us)
+        want = (plan.bottleneck_cycles, _cells_oracle(plan), energy,
+                latency)
+        if got != want:
+            return (f"frontier point {point.pool}@{point.num_arrays} "
+                    f"{got} != scalar replay {want} for [{case}]")
+
+    if pools:
+        homogeneous = chip_pareto(network, geometries, pools=False,
+                                  cost_params=params,
+                                  max_arrays=max_arrays, engine=engine)
+        for h in homogeneous:
+            h_obj = (h.cells, h.energy_nj, h.bottleneck_cycles)
+            if not any(_dominates_or_equal(o, h_obj) for o in objectives):
+                return (f"pools=True frontier fails to dominate "
+                        f"homogeneous point {h_obj} for [{case}]")
+    return None
+
+
+# ----------------------------------------------------------------------
+# Surface: backend (numpy vs interpreted/JIT numba kernels)
+# ----------------------------------------------------------------------
+@register_surface("backend",
+                  summary="numpy vs interpreted numba kernels (JIT too "
+                          "when installed) on the same sweep")
+def _backend_surface(rng: random.Random, tmp_dir: Path) -> Optional[str]:
+    from ..core._kernels import (finish_kernel, front_kernel,
+                                 geo_cycles_kernel)
+    from ..core.backend import HAVE_NUMBA, NumbaBackend, get_backend
+
+    class InterpretedBackend(NumbaBackend):
+        """Numba kernels as plain Python — same code path, no JIT."""
+        name = "numba-interp"
+
+        def __init__(self) -> None:
+            self._finish = finish_kernel
+            self._geo_cycles = geo_cycles_kernel
+            self._front = front_kernel
+
+    layers = [_random_layer(rng) for _ in range(rng.randint(1, 3))]
+    arrays = [_random_array(rng) for _ in range(rng.randint(1, 4))]
+    scheme = "vw-sdk"
+    case = "; ".join(layer.shape_str for layer in layers)
+
+    reference = _vector_tokens(MappingEngine(), layers, arrays, scheme,
+                               "numpy")
+    interpreted = _vector_tokens(MappingEngine(), layers, arrays, scheme,
+                                 InterpretedBackend())
+    if interpreted != reference:
+        return (f"interpreted numba kernels != numpy for [{case}]: "
+                f"{interpreted} vs {reference}")
+    if HAVE_NUMBA:
+        jitted = _vector_tokens(MappingEngine(), layers, arrays, scheme,
+                                get_backend("numba"))
+        if jitted != reference:
+            return (f"JIT numba != numpy for [{case}]: "
+                    f"{jitted} vs {reference}")
+    return None
+
+
+# ----------------------------------------------------------------------
+# Surface: grouped (grouped_mapping invariants vs direct solve)
+# ----------------------------------------------------------------------
+@register_surface("grouped",
+                  summary="grouped_mapping packing invariants vs a "
+                          "direct solve of the sub-layer")
+def _grouped_surface(rng: random.Random, tmp_dir: Path) -> Optional[str]:
+    from ..core.grouped import grouped_mapping
+
+    array = _random_array(rng)
+    kernel = rng.choice([1, 3, 5])
+    ifm = rng.randint(kernel, 32)
+    groups = rng.choice([1, 2, 4, 8])
+    in_channels = rng.choice([1, 2, 4, 8]) * groups
+    out_channels = rng.choice([1, 2, 4]) * groups
+    optimize = rng.random() < 0.5
+    case = (f"{ifm}x{ifm}/k{kernel} {in_channels}->{out_channels} "
+            f"g{groups} on {array.rows}x{array.cols}"
+            + ("" if optimize else " no-pack-opt"))
+
+    sub_layer = ConvLayer.square(ifm, kernel, in_channels // groups,
+                                 out_channels // groups)
+    cold = MappingEngine(cache_size=0)
+    try:
+        direct = cold.solve(sub_layer, array, "vw-sdk")
+    except ReproError as error:
+        try:
+            grouped_mapping(ifm, kernel, in_channels, out_channels,
+                            groups, array, optimize_packing=optimize)
+        except ReproError as grouped_error:
+            if type(grouped_error) is type(error):
+                return None
+            return (f"grouped_mapping raised "
+                    f"{type(grouped_error).__name__}, direct solve "
+                    f"raised {type(error).__name__} for [{case}]")
+        return (f"grouped_mapping succeeded where direct solve raised "
+                f"{type(error).__name__} for [{case}]")
+
+    mapping = grouped_mapping(ifm, kernel, in_channels, out_channels,
+                              groups, array, optimize_packing=optimize)
+    if mapping.sequential_cycles != groups * direct.cycles:
+        return (f"sequential_cycles {mapping.sequential_cycles} != "
+                f"groups x direct cycles {groups * direct.cycles} "
+                f"for [{case}]")
+    if mapping.packed_cycles > mapping.sequential_cycles:
+        return (f"packed_cycles {mapping.packed_cycles} > sequential "
+                f"{mapping.sequential_cycles} for [{case}]")
+    if mapping.cycles != min(mapping.sequential_cycles,
+                             mapping.packed_cycles):
+        return f"GroupedMapping.cycles not the min for [{case}]"
+
+    if in_channels % (groups + 1) or out_channels % (groups + 1):
+        try:
+            grouped_mapping(ifm, kernel, in_channels, out_channels,
+                            groups + 1, array)
+        except ConfigurationError:
+            pass
+        else:
+            return (f"non-divisible groups={groups + 1} accepted "
+                    f"for [{case}]")
+    return None
+
+
+# ----------------------------------------------------------------------
+# Replayable case coordinates + fixture corpus
+# ----------------------------------------------------------------------
+def case_seed(seed: int, surface: str, index: int) -> int:
+    """Deterministic per-case RNG seed from the run coordinates."""
+    digest = hashlib.sha256(f"{seed}:{surface}:{index}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def run_case(surface: str, seed: int, index: int, tmp_dir: Path,
+             registry: Optional[SurfaceRegistry] = None) -> Optional[str]:
+    """Run one differential case identified by ``(surface, seed,
+    index)``; returns the mismatch description or ``None``."""
+    reg = registry if registry is not None else DEFAULT_SURFACES
+    info = reg.get(surface)
+    rng = random.Random(case_seed(seed, surface, index))
+    return info.runner(rng, tmp_dir)
+
+
+def dump_fixture(corpus: Path, surface: str, seed: int, index: int,
+                 mismatch: str) -> Optional[Path]:
+    """Persist a divergence as a replayable JSON fixture.
+
+    Returns the written path, or ``None`` when the corpus location is
+    unusable (e.g. the fuzzer runs outside a repo checkout).
+    """
+    try:
+        corpus.mkdir(parents=True, exist_ok=True)
+    except OSError:
+        return None
+    path = corpus / f"{surface}-seed{seed}-case{index}.json"
+    payload = {"version": 1, "surface": surface, "seed": seed,
+               "index": index, "mismatch": mismatch}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def replay_fixture(path: Path, tmp_dir: Path) -> Optional[str]:
+    """Re-run the case a fixture records; ``None`` means it is fixed."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return run_case(payload["surface"], payload["seed"],
+                    payload["index"], tmp_dir)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.runtime.fuzz",
-        description="differential fuzz: cold vs cached vs "
-                    "store-recovered solutions")
+        description="differential fuzz across the planning surfaces: "
+                    + ", ".join(DEFAULT_SURFACES.names()))
     parser.add_argument("--budget-s", type=float, default=30.0,
-                        help="wall-clock budget in seconds (default 30)")
+                        help="total wall-clock budget in seconds, split "
+                             "evenly across surfaces (default 30)")
     parser.add_argument("--seed", type=int, default=0,
                         help="RNG seed (default 0)")
     parser.add_argument("--max-cases", type=int, default=None,
-                        help="optional cap on generated cases")
+                        help="optional cap on cases per surface")
+    parser.add_argument("--surfaces", default=None,
+                        help="comma-separated surface subset (default: "
+                             "all registered)")
+    parser.add_argument("--corpus", default=str(DEFAULT_CORPUS),
+                        help="divergence fixture directory (default "
+                             "tests/fixtures/fuzz)")
     args = parser.parse_args(argv)
 
-    rng = random.Random(args.seed)
-    cases = 0
+    if args.surfaces:
+        try:
+            surfaces = [DEFAULT_SURFACES.get(name.strip()).name
+                        for name in args.surfaces.split(",")
+                        if name.strip()]
+        except UnknownSurfaceError as error:
+            parser.error(str(error))
+    else:
+        surfaces = list(DEFAULT_SURFACES.names())
+    if not surfaces:
+        parser.error("no fuzz surfaces selected")
+    per_surface = args.budget_s / len(surfaces)
+    corpus = Path(args.corpus)
+
+    failures: List[Tuple[str, int, str]] = []
+    total_cases = 0
     start = time.monotonic()
     with tempfile.TemporaryDirectory(prefix="repro-fuzz-") as tmp:
         tmp_dir = Path(tmp)
-        while time.monotonic() - start < args.budget_s:
-            if args.max_cases is not None and cases >= args.max_cases:
-                break
-            mismatch = fuzz_once(rng, tmp_dir)
-            cases += 1
-            if mismatch is not None:
-                print(f"FAIL after {cases} case(s), seed {args.seed}: "
-                      f"{mismatch}")
-                return 1
+        for surface in surfaces:
+            surface_start = time.monotonic()
+            index = 0
+            while time.monotonic() - surface_start < per_surface:
+                if args.max_cases is not None and index >= args.max_cases:
+                    break
+                try:
+                    mismatch = run_case(surface, args.seed, index, tmp_dir)
+                except Exception as error:  # crash = a finding too
+                    mismatch = (f"unexpected {type(error).__name__}: "
+                                f"{error}")
+                if mismatch is not None:
+                    failures.append((surface, index, mismatch))
+                    fixture = dump_fixture(corpus, surface, args.seed,
+                                           index, mismatch)
+                    where = f" (fixture: {fixture})" if fixture else ""
+                    print(f"FAIL [{surface}] seed={args.seed} "
+                          f"index={index}: {mismatch}{where}")
+                    index += 1
+                    break  # one finding per surface; move on
+                index += 1
+            total_cases += index
+            print(f"  {surface}: {index} case(s)")
     elapsed = time.monotonic() - start
-    print(f"ok: {cases} differential case(s) in {elapsed:.1f}s, "
-          f"seed {args.seed} — cold, cached and store-recovered "
-          f"solutions all canonically identical")
+
+    if failures:
+        print(f"{len(failures)} divergence(s) in {total_cases} case(s) "
+              f"over {elapsed:.1f}s, seed {args.seed} — replay with "
+              f"repro.runtime.fuzz.run_case(surface, seed, index, tmp)")
+        return 1
+    print(f"ok: {total_cases} differential case(s) across "
+          f"{len(surfaces)} surface(s) in {elapsed:.1f}s, seed "
+          f"{args.seed} — all fast paths match their scalar oracles")
     return 0
 
 

@@ -1,0 +1,196 @@
+"""End-to-end PIM fidelity replay: planning meets the functional stack.
+
+The 4-D frontier's semantics rest on two contracts pinned here:
+
+* **bit-exactness** — replaying any ``chip_pareto`` design point's
+  per-stage solutions through the functional
+  :class:`~repro.pim.engine.PIMEngine` under
+  :class:`~repro.pim.noise.NoNoise` reproduces the
+  :mod:`repro.pim.reference` direct convolution exactly, for every
+  golden Table-I frontier point and for hypothesis-drawn input seeds;
+* **monotone degradation** — the attached ``accuracy_proxy`` is 1.0
+  exactly when noise-free and non-increasing as the
+  :class:`~repro.pim.noise.LognormalNoise` sigma grows.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.engine import MappingEngine
+from repro.core import ConvLayer, PIMArray
+from repro.core.types import ConfigurationError
+from repro.dse import chip_pareto
+from repro.networks import get_network
+from repro.pim import (FidelitySpec, LognormalNoise, NoNoise, StuckCells,
+                       replay_point, replay_stage)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: The square ladder the golden chip_pareto fixtures sweep.
+SIDES = (128, 256, 512)
+NETWORKS = ("resnet18", "vgg13")
+
+SIGMA_LADDER = (0.0, 0.05, 0.1, 0.2, 0.4)
+
+
+def _distinct_plans(front):
+    """One representative per distinct per-stage solution tuple."""
+    seen, plans = set(), []
+    for point in front:
+        key = tuple(id(s) for s in point.solutions)
+        if key not in seen:
+            seen.add(key)
+            plans.append(point)
+    return plans
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return MappingEngine()
+
+
+# ----------------------------------------------------------------------
+# Golden design points: NoNoise replay is bit-exact
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", NETWORKS)
+def test_golden_points_replay_bit_exact(name, engine):
+    """Every golden frontier point's plan replays exactly (NoNoise)."""
+    golden = json.loads(
+        (FIXTURES / f"chip_pareto_{name}.json").read_text())
+    front = chip_pareto(get_network(name),
+                        [PIMArray.square(side) for side in SIDES],
+                        engine=engine)
+    assert len(front) == len(golden)  # same points the fixture pins
+    for point in _distinct_plans(front):
+        report = engine.point_fidelity(point.solutions)
+        assert report.exact
+        assert report.accuracy_proxy == 1.0
+        assert report.error_norm == 0.0
+
+
+@settings(max_examples=3, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2 ** 16))
+def test_golden_resnet_replay_exact_for_any_input_seed(seed):
+    """Bit-exactness is input-independent: hypothesis draws the seed."""
+    engine = MappingEngine()
+    front = chip_pareto(get_network("resnet18"),
+                        [PIMArray.square(side) for side in SIDES],
+                        engine=engine)
+    for point in _distinct_plans(front):
+        report = replay_point(point, seed=seed)
+        assert report.exact and report.accuracy_proxy == 1.0
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2 ** 20),
+       stage=st.integers(min_value=0, max_value=7))
+def test_single_stage_replay_exact(seed, stage, engine):
+    solution = engine.solve(ConvLayer.square(10, 3, 8, 8),
+                            PIMArray.square(128), "vw-sdk")
+    fidelity = replay_stage(solution, seed=seed, stage=stage)
+    assert fidelity.exact
+    assert fidelity.nrmse == 0.0
+
+
+# ----------------------------------------------------------------------
+# accuracy_proxy semantics: perfect when ideal, monotone in sigma
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def small_plan(engine):
+    layers = [ConvLayer.square(12, 3, 8, 16), ConvLayer.square(8, 3, 16, 8)]
+    return [engine.solve(layer, PIMArray.square(128), "vw-sdk")
+            for layer in layers]
+
+
+def test_no_noise_scores_perfect(small_plan):
+    report = replay_point(small_plan, noise=NoNoise())
+    assert report.exact
+    assert report.accuracy_proxy == 1.0
+    assert report.nrmse == 0.0
+
+
+def test_zero_sigma_and_zero_stuck_score_perfect(small_plan):
+    assert replay_point(small_plan,
+                        noise=LognormalNoise(0.0)).accuracy_proxy == 1.0
+    assert replay_point(small_plan,
+                        noise=StuckCells(0.0)).accuracy_proxy == 1.0
+
+
+@pytest.mark.parametrize("seed", (0, 1, 2, 7))
+def test_accuracy_proxy_monotone_in_sigma(small_plan, seed):
+    proxies = [replay_point(small_plan, noise=LognormalNoise(sigma),
+                            seed=seed).accuracy_proxy
+               for sigma in SIGMA_LADDER]
+    assert proxies[0] == 1.0
+    for lo, hi in zip(proxies[1:], proxies):
+        assert lo <= hi
+    assert proxies[-1] < 1.0  # heavy noise really degrades
+
+
+def test_noisy_replay_not_exact_but_scored(small_plan):
+    report = replay_point(small_plan, noise=LognormalNoise(0.3), seed=0)
+    assert not report.exact
+    assert 0.0 < report.accuracy_proxy < 1.0
+    assert report.error_norm > 0.0
+    assert report.snr_db < float("inf")
+
+
+# ----------------------------------------------------------------------
+# FidelitySpec coercion + engine memoization
+# ----------------------------------------------------------------------
+def test_fidelity_spec_coercion():
+    assert FidelitySpec.of(None).noise == NoNoise()
+    assert FidelitySpec.of(True).noise == NoNoise()
+    assert FidelitySpec.of(0).noise == NoNoise()
+    assert FidelitySpec.of(0.1).noise == LognormalNoise(0.1)
+    spec = FidelitySpec(noise=StuckCells(0.2), seed=3)
+    assert FidelitySpec.of(spec) is spec
+    assert FidelitySpec.of(StuckCells(0.2)).noise == StuckCells(0.2)
+
+
+def test_fidelity_spec_rejects_bad_inputs():
+    with pytest.raises(ConfigurationError):
+        FidelitySpec.of(-0.5)
+    with pytest.raises(ConfigurationError):
+        FidelitySpec.of("not a noise model")
+    with pytest.raises(ConfigurationError):
+        FidelitySpec(seed=-1)
+
+
+def test_point_fidelity_empty_plan_rejected(engine):
+    with pytest.raises(ConfigurationError):
+        engine.point_fidelity([])
+
+
+def test_point_fidelity_memoized(engine, small_plan):
+    first = engine.point_fidelity(small_plan, LognormalNoise(0.1))
+    second = engine.point_fidelity(small_plan, LognormalNoise(0.1))
+    assert second is first  # served from the sweep memo
+    other = engine.point_fidelity(small_plan, LognormalNoise(0.2))
+    assert other is not first  # the noise model is part of the key
+
+
+# ----------------------------------------------------------------------
+# chip_pareto(fidelity=...) integration
+# ----------------------------------------------------------------------
+def test_chip_pareto_attaches_accuracy_proxy(engine):
+    front = chip_pareto(get_network("resnet18"), [PIMArray.square(512)],
+                        fidelity=True, engine=engine)
+    assert front
+    assert all(point.accuracy_proxy == 1.0 for point in front)
+
+
+def test_chip_pareto_without_fidelity_leaves_proxy_none(engine):
+    front = chip_pareto(get_network("resnet18"), [PIMArray.square(512)],
+                        engine=engine)
+    assert all(point.accuracy_proxy is None for point in front)
+
+
+def test_chip_pareto_noisy_fidelity_scores_below_one(engine):
+    front = chip_pareto(get_network("resnet18"), [PIMArray.square(512)],
+                        fidelity=LognormalNoise(0.2), engine=engine)
+    assert all(0.0 < point.accuracy_proxy < 1.0 for point in front)

@@ -1,0 +1,54 @@
+"""Replay the committed fuzz-divergence corpus.
+
+Every divergence the fuzzer ever finds is dumped as a replayable JSON
+fixture under ``tests/fixtures/fuzz/`` (see
+:func:`repro.runtime.fuzz.dump_fixture`).  This suite replays the whole
+corpus: a fixture that reproduces its mismatch means the underlying bug
+regressed.  The suite is empty-corpus-safe — with no fixtures on disk
+only the structural tests run.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.runtime import fuzz
+
+CORPUS = Path(__file__).parent / "fixtures" / "fuzz"
+FIXTURES = sorted(CORPUS.glob("*.json")) if CORPUS.is_dir() else []
+
+
+def test_corpus_directory_exists():
+    """The corpus directory is tracked, so dump_fixture can write."""
+    assert CORPUS.is_dir()
+
+
+def test_corpus_is_a_list():
+    """Empty-corpus-safe: the glob result is well-formed either way."""
+    assert isinstance(FIXTURES, list)
+    for path in FIXTURES:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["version"] == 1
+        assert payload["surface"] in fuzz.DEFAULT_SURFACES
+        assert isinstance(payload["seed"], int)
+        assert isinstance(payload["index"], int)
+
+
+@pytest.mark.parametrize("path", FIXTURES, ids=lambda p: p.name)
+def test_corpus_case_stays_fixed(path, tmp_path):
+    """A committed divergence must no longer reproduce."""
+    mismatch = fuzz.replay_fixture(path, tmp_path)
+    assert mismatch is None, (
+        f"fixture {path.name} reproduces again: {mismatch}")
+
+
+def test_dump_and_replay_roundtrip(tmp_path):
+    corpus = tmp_path / "corpus"
+    path = fuzz.dump_fixture(corpus, "map", 0, 0, "synthetic mismatch")
+    assert path is not None and path.is_file()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    assert payload == {"version": 1, "surface": "map", "seed": 0,
+                       "index": 0, "mismatch": "synthetic mismatch"}
+    # Case (map, 0, 0) is the tier-1 smoke case and is clean.
+    assert fuzz.replay_fixture(path, tmp_path) is None

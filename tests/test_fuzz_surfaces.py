@@ -1,0 +1,121 @@
+"""The multi-surface differential fuzzer: registry + seeded smokes.
+
+The fuzzer's surface registry mirrors the solver registry's contract
+(duplicate/unknown errors, did-you-mean hints, decorator registration),
+and every built-in surface must pass its ``(seed=0, index=0)`` case
+deterministically — that one seeded case per surface is the tier-1
+smoke; the CI robustness job runs the full time-boxed budget.
+"""
+
+import pytest
+
+from repro.core.types import ConfigurationError
+from repro.runtime import fuzz
+from repro.runtime.fuzz import (DEFAULT_SURFACES, DuplicateSurfaceError,
+                                SurfaceRegistry, UnknownSurfaceError)
+
+
+def _noop(rng, tmp_dir):
+    return None
+
+
+class TestSurfaceRegistry:
+    def test_register_get_names(self):
+        registry = SurfaceRegistry()
+        registry.register("alpha", _noop, summary="first")
+        registry.register("beta", _noop)
+        assert registry.names() == ("alpha", "beta")
+        assert registry.get("alpha").summary == "first"
+        assert registry.get("beta").runner is _noop
+        assert "alpha" in registry and "gamma" not in registry
+        assert len(registry) == 2
+        assert list(registry) == ["alpha", "beta"]
+
+    def test_decorator_registration(self):
+        registry = SurfaceRegistry()
+
+        @registry.register_surface("decorated", summary="via decorator")
+        def runner(rng, tmp_dir):
+            return None
+
+        assert registry.get("decorated").runner is runner
+
+    def test_duplicate_raises_unless_replace(self):
+        registry = SurfaceRegistry()
+        registry.register("alpha", _noop)
+        with pytest.raises(DuplicateSurfaceError):
+            registry.register("alpha", _noop)
+        registry.register("alpha", _noop, replace=True)
+
+    def test_unknown_get_suggests_closest(self):
+        registry = SurfaceRegistry()
+        registry.register("chip_sweep", _noop)
+        with pytest.raises(UnknownSurfaceError, match="chip_sweep"):
+            registry.get("chip_sweeep")
+
+    def test_unregister(self):
+        registry = SurfaceRegistry()
+        registry.register("alpha", _noop)
+        registry.unregister("alpha")
+        assert "alpha" not in registry
+        with pytest.raises(UnknownSurfaceError):
+            registry.unregister("alpha")
+
+    def test_non_callable_rejected(self):
+        registry = SurfaceRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.register("bad", "not callable")
+
+    def test_errors_are_configuration_errors(self):
+        assert issubclass(UnknownSurfaceError, ConfigurationError)
+        assert issubclass(DuplicateSurfaceError, ConfigurationError)
+
+
+def test_builtin_surfaces_registered():
+    names = DEFAULT_SURFACES.names()
+    assert set(names) >= {"map", "network_sweep", "chip_sweep",
+                          "chip_pareto", "backend", "grouped"}
+
+
+def test_case_seed_is_deterministic_and_distinct():
+    assert fuzz.case_seed(0, "map", 0) == fuzz.case_seed(0, "map", 0)
+    assert fuzz.case_seed(0, "map", 0) != fuzz.case_seed(0, "map", 1)
+    assert fuzz.case_seed(0, "map", 0) != fuzz.case_seed(1, "map", 0)
+    assert fuzz.case_seed(0, "map", 0) != fuzz.case_seed(0, "backend", 0)
+
+
+@pytest.mark.parametrize("surface", DEFAULT_SURFACES.names())
+def test_seeded_smoke_case_is_clean(surface, tmp_path):
+    """One deterministic differential case per surface in tier-1."""
+    assert fuzz.run_case(surface, 0, 0, tmp_path) is None
+
+
+def test_run_case_unknown_surface(tmp_path):
+    with pytest.raises(UnknownSurfaceError):
+        fuzz.run_case("nope", 0, 0, tmp_path)
+
+
+def test_main_smoke(tmp_path, capsys):
+    corpus = tmp_path / "corpus"
+    assert fuzz.main(["--budget-s", "30", "--max-cases", "1",
+                      "--corpus", str(corpus)]) == 0
+    out = capsys.readouterr().out
+    assert "ok:" in out
+    for surface in DEFAULT_SURFACES.names():
+        assert surface in out
+    assert not list(corpus.glob("*.json")) if corpus.is_dir() else True
+
+
+def test_main_surface_subset(tmp_path, capsys):
+    assert fuzz.main(["--budget-s", "30", "--max-cases", "1",
+                      "--surfaces", "map,grouped",
+                      "--corpus", str(tmp_path / "corpus")]) == 0
+    out = capsys.readouterr().out
+    assert "2 surface(s)" in out
+
+
+def test_main_unknown_surface_errors(tmp_path):
+    with pytest.raises(SystemExit) as excinfo:
+        fuzz.main(["--surfaces", "bogus",
+                   "--corpus", str(tmp_path / "corpus")])
+    assert excinfo.value.code == 2
