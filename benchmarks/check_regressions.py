@@ -42,6 +42,7 @@ EXPECTED_ARTIFACTS = (
     "BENCH_fidelity.json",
     "BENCH_lattice.json",
     "BENCH_runtime.json",
+    "BENCH_serve.json",
 )
 
 

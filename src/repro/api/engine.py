@@ -57,6 +57,7 @@ from __future__ import annotations
 
 import threading
 import time
+import weakref
 from collections import OrderedDict
 from dataclasses import replace
 from typing import (TYPE_CHECKING, Dict, Iterable, List, Optional,
@@ -152,6 +153,20 @@ class _LRUCache:
             return CacheSnapshot(hits=self.hits, misses=self.misses,
                                  evictions=self.evictions,
                                  size=len(self._data))
+
+
+class _WorkspaceLease:
+    """Per-thread token whose collection retires that thread's workspace.
+
+    Stored next to the workspace in the engine's ``threading.local``:
+    when the owning thread exits, its thread-local dict is torn down,
+    the lease loses its last strong reference, and the
+    ``weakref.finalize`` registered on it folds the workspace's
+    counters into the engine's retired totals — so dead pool threads
+    stop pinning multi-megabyte arenas while ``stats`` stays exact.
+    """
+
+    __slots__ = ("__weakref__",)
 
 
 class _Flight:
@@ -250,11 +265,17 @@ class MappingEngine:
         self._inflight: Dict[str, "_Flight"] = {}
         self._cache = _LRUCache(cache_size)
         self._sweeps: LRUMemo = LRUMemo(maxsize=self.SWEEP_CACHE_SIZE)
-        # One sweep workspace per thread (Workspace is not thread-safe);
-        # the registry list exists only so stats() can aggregate the
-        # reuse/grow counters across threads.
+        # One sweep workspace per thread (Workspace is not thread-safe).
+        # The registry holds *weak* references only — the sole strong
+        # reference lives in the owning thread's ``threading.local``
+        # slot, so a dead thread's arena is collectible instead of
+        # pinned for the engine's lifetime.  Its counters are folded
+        # into ``_ws_retired`` at collection time (see
+        # :class:`_WorkspaceLease`), keeping ``stats`` exact across
+        # thread churn.
         self._ws_local = threading.local()
-        self._ws_all: List[Workspace] = []
+        self._ws_all: List["weakref.ref[Workspace]"] = []
+        self._ws_retired: List[int] = [0, 0, 0]  # reuses, grows, peak(max)
         self._ws_lock = threading.Lock()
 
     @property
@@ -271,18 +292,55 @@ class MappingEngine:
         workspace = getattr(self._ws_local, "workspace", None)
         if workspace is None:
             workspace = Workspace()
+            lease = _WorkspaceLease()
             self._ws_local.workspace = workspace
+            self._ws_local.lease = lease
+            # The finalizer's args keep *workspace* alive exactly until
+            # the lease dies with its thread, at which point the final
+            # counter values are folded into the retired totals.  Only
+            # a weak engine reference is captured, so a finalizer never
+            # keeps a discarded engine (and its caches) alive.
+            weakref.finalize(lease, MappingEngine._retire_workspace,
+                             weakref.ref(self), workspace)
             with self._ws_lock:
-                self._ws_all.append(workspace)
+                self._ws_all.append(weakref.ref(workspace))
         return workspace
+
+    @staticmethod
+    def _retire_workspace(engine_ref: "weakref.ref[MappingEngine]",
+                          workspace: Workspace) -> None:
+        """Fold a dead thread's workspace counters into the engine's
+        retired totals and drop its registry slot."""
+        engine = engine_ref()
+        if engine is None:
+            return
+        with engine._ws_lock:
+            engine._ws_retired[0] += workspace.reuses
+            engine._ws_retired[1] += workspace.grows
+            engine._ws_retired[2] = max(engine._ws_retired[2],
+                                        workspace.peak_bytes)
+            engine._ws_all = [ref for ref in engine._ws_all
+                              if ref() is not None
+                              and ref() is not workspace]
+
+    def live_workspaces(self) -> int:
+        """Number of thread workspaces currently held alive (dead
+        threads' arenas are released, not pinned — the thread-churn
+        regression hook)."""
+        with self._ws_lock:
+            return sum(1 for ref in self._ws_all if ref() is not None)
 
     def workspace_counters(self) -> Tuple[int, int, int]:
         """Aggregated ``(reuses, grows, peak_bytes)`` over all threads'
-        sweep workspaces (peak is the max, the others sum)."""
+        sweep workspaces, live and retired (peak is the max, the others
+        sum)."""
         with self._ws_lock:
-            reuses = sum(ws.reuses for ws in self._ws_all)
-            grows = sum(ws.grows for ws in self._ws_all)
-            peak = max((ws.peak_bytes for ws in self._ws_all), default=0)
+            live = [ws for ws in (ref() for ref in self._ws_all)
+                    if ws is not None]
+            reuses = self._ws_retired[0] + sum(ws.reuses for ws in live)
+            grows = self._ws_retired[1] + sum(ws.grows for ws in live)
+            peak = max([self._ws_retired[2]]
+                       + [ws.peak_bytes for ws in live])
         return reuses, grows, peak
 
     # ------------------------------------------------------------------
@@ -376,8 +434,9 @@ class MappingEngine:
         except (TransientError, OSError):
             self._count_store_error()
 
-    def _solve_coalesced(self, request: MappingRequest,
-                         key: str) -> Tuple[MappingSolution, float, bool]:
+    def _solve_coalesced(self, request: MappingRequest, key: str,
+                         deadline: Optional[Deadline] = None
+                         ) -> Tuple[MappingSolution, float, bool]:
         """Solve *request*, sharing work with identical in-flight keys.
 
         Returns ``(solution, solve_ms, shared)`` — *shared* is True
@@ -385,6 +444,13 @@ class MappingEngine:
         failure leaves followers to re-solve solo, so they surface the
         real error rather than a second-hand one.  ``cache_size=0``
         engines skip coalescing (the honest benchmarking baseline).
+
+        A follower carrying a *deadline* waits at most the deadline's
+        remaining budget for the leader — a request must never outwait
+        its own deadline behind a slow leader.  On expiry it raises
+        :class:`~repro.runtime.deadline.DeadlineExceededError`; if the
+        wait timed out while budget remains (a clock race) it falls
+        back to a solo solve instead of re-queueing behind the leader.
         """
         if self._cache.maxsize <= 0:
             solution, solve_ms = self._timed_solve(request, key)
@@ -405,7 +471,13 @@ class MappingEngine:
                 flight.event.set()
             solution, solve_ms = flight.result
             return solution, solve_ms, False
-        flight.event.wait()
+        timeout = None if deadline is None else deadline.remaining()
+        if not flight.event.wait(timeout):
+            if deadline is not None:
+                deadline.check(partial={"coalesced_behind": key},
+                               where="engine.coalesce")
+            solution, solve_ms = self._timed_solve(request, key)
+            return solution, solve_ms, False
         if flight.result is None:
             solution, solve_ms = self._timed_solve(request, key)
             return solution, solve_ms, False
@@ -414,13 +486,17 @@ class MappingEngine:
         solution, solve_ms = flight.result
         return solution, solve_ms, True
 
-    def map(self, request: MappingRequest) -> MappingResponse:
+    def map(self, request: MappingRequest, *,
+            deadline: Optional[Deadline] = None) -> MappingResponse:
         """Resolve one request into a :class:`MappingResponse`.
 
         Lookup order: the in-process LRU memo, then the persistent
         store (when mounted; a store hit back-fills the memo), then an
         in-flight-coalesced solver run.  Both cache tiers report
-        ``cached=True``.
+        ``cached=True``.  An optional *deadline* bounds the coalescing
+        wait (see :meth:`_solve_coalesced`); cache lookups and solo
+        solves are not interrupted — they are the work the deadline is
+        budgeting for.
 
         >>> engine = MappingEngine()
         >>> request = MappingRequest(layer=ConvLayer.square(14, 3, 256, 256),
@@ -444,7 +520,8 @@ class MappingEngine:
             return MappingResponse(request=request,
                                    solution=self._rebind(stored, request),
                                    cached=True)
-        solution, solve_ms, shared = self._solve_coalesced(request, key)
+        solution, solve_ms, shared = self._solve_coalesced(request, key,
+                                                           deadline)
         return MappingResponse(request=request,
                                solution=self._rebind(solution, request),
                                cached=shared,

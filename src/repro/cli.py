@@ -32,6 +32,12 @@ chip
     frontier (``--pools`` adds the heterogeneous best-fit plan,
     ``--cost-params FILE`` overrides the energy model).  (Legacy
     ``chip NETWORK ...`` is rewritten to ``chip plan NETWORK ...``.)
+serve
+    Run the mapping service: an asyncio HTTP/1.1 JSON front door over
+    a process-pool worker tier (``/v1/map``, ``/v1/map_batch``,
+    ``/v1/network_sweep``, ``/v1/chip_pareto``, ``/v1/healthz``,
+    ``/v1/stats``), with ``--store`` as the fleet-wide warm L2 every
+    worker mounts.  See ``docs/serving.md``.
 """
 
 from __future__ import annotations
@@ -190,6 +196,29 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=("auto", "numpy", "numba"),
                           help="lattice compute backend (auto = numba "
                                "when installed, else numpy)")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the async HTTP mapping service")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8080,
+                         help="bind port (default 8080; 0 = ephemeral)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="process-pool width for lattice work")
+    p_serve.add_argument("--store", metavar="FILE", default=None,
+                         help="shared SolutionStore every worker mounts "
+                              "as its warm L2 (flock-guarded JSONL)")
+    p_serve.add_argument("--backend", default="auto",
+                         choices=("auto", "numpy", "numba"),
+                         help="worker engines' compute backend")
+    p_serve.add_argument("--cache-size", type=int, default=4096,
+                         help="per-worker engine LRU size")
+    p_serve.add_argument("--memo-size", type=int, default=1024,
+                         help="server-side response memo entries "
+                              "(0 disables)")
+    p_serve.add_argument("--fault-injection", action="store_true",
+                         help="enable POST /v1/_crash_worker (tests/CI "
+                              "only — never in production)")
     return parser
 
 
@@ -474,6 +503,23 @@ def _cmd_chip_pareto(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .core import ConfigurationError
+    from .server import serve
+    try:
+        serve(args.host, args.port, workers=args.workers,
+              store_path=args.store, backend=args.backend,
+              cache_size=args.cache_size, memo_size=args.memo_size,
+              fault_injection=args.fault_injection)
+    except ConfigurationError as error:
+        raise SystemExit(f"serve: {error}") from None
+    except OSError as error:
+        raise SystemExit(
+            f"serve: cannot bind {args.host}:{args.port} ({error})"
+        ) from None
+    return 0
+
+
 _COMMANDS = {
     "map": _cmd_map,
     "network": _cmd_network,
@@ -481,6 +527,7 @@ _COMMANDS = {
     "landscape": _cmd_landscape,
     "dse": _cmd_dse,
     "chip": _cmd_chip,
+    "serve": _cmd_serve,
 }
 
 #: ``chip`` grew subcommands; bare ``chip NETWORK ...`` still works.

@@ -107,7 +107,11 @@ class Workspace:
     worker in thread-local storage).
     """
 
-    __slots__ = ("_block", "_cursor", "reuses", "grows", "peak_bytes")
+    # ``__weakref__`` lets the engine track per-thread workspaces
+    # weakly, so a dead pool thread's arena is collectible instead of
+    # pinned for the engine's lifetime.
+    __slots__ = ("_block", "_cursor", "reuses", "grows", "peak_bytes",
+                 "__weakref__")
 
     #: Bump-pointer alignment (bytes) — keeps every borrow aligned for
     #: any integer dtype and friendly to vectorized loads.

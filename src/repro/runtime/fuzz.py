@@ -662,6 +662,70 @@ def _grouped_surface(rng: random.Random, tmp_dir: Path) -> Optional[str]:
 
 
 # ----------------------------------------------------------------------
+# Surface: faults (answers immune to an installed FaultPlan)
+# ----------------------------------------------------------------------
+@register_surface("faults",
+                  summary="map + sweep answers identical under a random "
+                          "installed FaultPlan (faults cost latency and "
+                          "durability, never answers)")
+def _faults_surface(rng: random.Random, tmp_dir: Path) -> Optional[str]:
+    """The runtime substrate's core contract, fuzzed end to end.
+
+    A seeded random :class:`~repro.runtime.faults.FaultPlan` fires
+    store I/O faults (absorbed by the engine's retry + error counters)
+    and backend crashes (absorbed by the circuit breaker's bit-identical
+    numpy fallback) underneath a store-mounted, breaker-wrapped engine.
+    Cold fault-free answers are the oracle for the solver path, the
+    memo-hit path and the batched sweep path alike.
+    """
+    from .faults import FaultPlan, FaultSpec
+
+    schemes = MappingEngine().schemes()
+    array = _random_array(rng)
+    layers = [_random_layer(rng) for _ in range(rng.randint(1, 3))]
+    arrays = [array] + [_random_array(rng)
+                        for _ in range(rng.randint(0, 2))]
+    requests = [MappingRequest(layer=layer, array=array,
+                               scheme=rng.choice(list(schemes)))
+                for layer in layers]
+    case = "; ".join(f"{r.scheme} {r.layer.shape_str}"
+                     f" on {array.rows}x{array.cols}" for r in requests)
+
+    cold_map = _canonical(MappingEngine(cache_size=0), requests)
+    cold_sweep = _vector_tokens(MappingEngine(), layers, arrays, "vw-sdk")
+
+    sites = ("store.read", "store.append", "backend.geo_cycles",
+             "backend.finish")
+    chosen = rng.sample(sites, rng.randint(1, len(sites)))
+    specs = tuple(FaultSpec(site=site,
+                            probability=rng.choice((0.1, 0.3, 0.6)))
+                  for site in chosen)
+    plan = FaultPlan(seed=rng.randrange(1 << 30), specs=specs)
+    label = ",".join(f"{s.site}@{s.probability}" for s in specs)
+
+    store_path = tmp_dir / f"faults-{rng.randrange(1 << 30)}.jsonl"
+    with SolutionStore(store_path) as store:
+        engine = MappingEngine(store=store, breaker=True)
+        with plan.installed():
+            first = _canonical(engine, requests)
+            second = _canonical(engine, requests)  # memo / store-hit path
+            swept = _vector_tokens(engine, layers, arrays, "vw-sdk")
+        fired = sum(s["fired"] for s in plan.stats().values())
+    store_path.unlink(missing_ok=True)
+    Path(str(store_path) + ".lock").unlink(missing_ok=True)
+
+    detail = f"[{case}] under plan {label} ({fired} faults fired)"
+    if first != cold_map:
+        return f"faulted map != cold for {detail}"
+    if second != cold_map:
+        return f"faulted map (warm caches) != cold for {detail}"
+    if swept != cold_sweep:
+        return (f"faulted sweep != cold for {detail}: "
+                f"{swept} vs {cold_sweep}")
+    return None
+
+
+# ----------------------------------------------------------------------
 # Replayable case coordinates + fixture corpus
 # ----------------------------------------------------------------------
 def case_seed(seed: int, surface: str, index: int) -> int:

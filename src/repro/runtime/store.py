@@ -21,7 +21,15 @@ at-worst-truncating:
 
 Writes are append-only under one lock; :meth:`compact` rewrites the
 live records through a temp file in the same directory and swaps it in
-atomically with ``os.replace``.  Keys are engine-defined strings
+atomically with ``os.replace``.  Because one store file is shared
+"across engines/restarts", appends, compaction and open-time recovery
+are additionally serialized *across processes* with an advisory
+``flock`` on a sidecar ``<store>.lock`` file (a graceful no-op where
+``fcntl`` is unavailable): concurrent workers cannot interleave frames,
+truncate each other's in-progress appends as torn tails, or clobber
+each other's records during compaction (compact re-scans the file under
+the lock and carries foreign records forward).  Keys are engine-defined
+strings
 (``"{registry version}:{request.cache_key}"`` — see
 ``api/engine.py``); values are plain JSON objects, typically
 ``solution_to_dict`` payloads.
@@ -37,8 +45,14 @@ import os
 import tempfile
 import threading
 import zlib
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Union
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
 
 from ..core.types import ConfigurationError
 from .faults import fault_point, register_fault_site
@@ -89,6 +103,7 @@ class SolutionStore:
         self._lock = threading.Lock()
         self._index: Dict[str, Any] = {}
         self._file: Optional[Any] = None
+        self._lockfile: Optional[Any] = None
         self.hits = 0
         self.misses = 0
         self.appended = 0
@@ -105,20 +120,62 @@ class SolutionStore:
             raise StoreCorruptionError(
                 f"store path {self.path} is a directory, not a file")
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        good_end = 0
-        if self.path.exists():
-            raw = self.path.read_bytes()
-            for key, value, end in self._scan(raw):
-                self._index[key] = value
-                self.recovered_records += 1
-                good_end = end
-            if good_end < len(raw):
-                # Torn tail or mid-file corruption: everything past the
-                # last intact frame is untrusted — truncate it away.
-                self.truncated_bytes = len(raw) - good_end
-                with open(self.path, "r+b") as handle:
-                    handle.truncate(good_end)
-        self._file = open(self.path, "ab")
+        if self._lockfile is None:
+            self._lockfile = open(str(self.path) + ".lock", "ab")
+        # The process lock covers the recovery scan + truncate too:
+        # without it, a reader opening mid-append in another process
+        # would see that append as a torn tail and truncate it away.
+        with self._process_lock():
+            good_end = 0
+            if self.path.exists():
+                raw = self.path.read_bytes()
+                for key, value, end in self._scan(raw):
+                    self._index[key] = value
+                    self.recovered_records += 1
+                    good_end = end
+                if good_end < len(raw):
+                    # Torn tail or mid-file corruption: everything past
+                    # the last intact frame is untrusted — truncate it.
+                    self.truncated_bytes = len(raw) - good_end
+                    with open(self.path, "r+b") as handle:
+                        handle.truncate(good_end)
+            self._file = open(self.path, "ab")
+
+    @contextmanager
+    def _process_lock(self) -> Iterator[None]:
+        """Advisory inter-process exclusion (append/compact/recovery).
+
+        An exclusive ``flock`` on the sidecar ``<store>.lock`` file —
+        the sidecar is never replaced by compaction, so the lock
+        identity is stable across ``os.replace`` swaps of the data
+        file.  Where ``fcntl`` is unavailable (non-POSIX) this is a
+        graceful no-op: single-process use keeps working everywhere,
+        multi-process sharing needs POSIX advisory locks.
+        """
+        if fcntl is None or self._lockfile is None:
+            yield
+            return
+        fcntl.flock(self._lockfile.fileno(), fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(self._lockfile.fileno(), fcntl.LOCK_UN)
+
+    def _refresh_handle(self) -> None:
+        """Reopen the append handle if another process's compaction
+        swapped a new inode under ``self.path`` — writes through the
+        orphaned old inode would be silently lost.  Call only with
+        both locks held."""
+        if self._file is None:
+            return
+        try:
+            current = os.stat(self.path)
+        except OSError:
+            current = None
+        if current is None or not os.path.samestat(
+                os.fstat(self._file.fileno()), current):
+            self._file.close()
+            self._file = open(self.path, "ab")
 
     @staticmethod
     def _scan(raw: bytes) -> Iterator[Any]:
@@ -176,10 +233,13 @@ class SolutionStore:
                 raise StoreCorruptionError(
                     f"store {self.path} is closed")
             fault_point("store.append")
-            self._file.write(frame)
-            self._file.flush()
-            if self.fsync:
-                os.fsync(self._file.fileno())
+            with self._process_lock():
+                self._refresh_handle()
+                assert self._file is not None
+                self._file.write(frame)
+                self._file.flush()
+                if self.fsync:
+                    os.fsync(self._file.fileno())
             self._index[key] = value
             self.appended += 1
 
@@ -202,37 +262,49 @@ class SolutionStore:
 
         Atomic: the new file is built next to the old one and swapped
         in with ``os.replace``, so a crash mid-compaction leaves either
-        the old file or the new one — never a blend.
+        the old file or the new one — never a blend.  Under the
+        inter-process lock the current file is re-scanned first and
+        records appended by *other* processes (keys this store has
+        never seen) are carried forward into both the rewrite and the
+        in-memory index, so a worker compacting never clobbers its
+        siblings' work; for keys this store knows, its own value wins.
         """
         with self._lock:
             fault_point("store.compact")
             if self._file is None:
                 raise StoreCorruptionError(f"store {self.path} is closed")
-            before = self.path.stat().st_size if self.path.exists() else 0
-            fd, tmp_name = tempfile.mkstemp(
-                dir=str(self.path.parent), prefix=self.path.name,
-                suffix=".tmp")
-            try:
-                with os.fdopen(fd, "wb") as tmp:
-                    for key, value in self._index.items():
-                        payload = json.dumps(
-                            {"key": key, "value": value},
-                            separators=(",", ":"), sort_keys=True)
-                        tmp.write(_frame(payload.encode("ascii")))
-                    tmp.flush()
-                    os.fsync(tmp.fileno())
-                self._file.close()
-                os.replace(tmp_name, self.path)
-            except BaseException:
+            with self._process_lock():
+                self._refresh_handle()
+                before = (self.path.stat().st_size
+                          if self.path.exists() else 0)
+                if self.path.exists():
+                    for key, value, _ in self._scan(self.path.read_bytes()):
+                        if key not in self._index:
+                            self._index[key] = value
+                fd, tmp_name = tempfile.mkstemp(
+                    dir=str(self.path.parent), prefix=self.path.name,
+                    suffix=".tmp")
                 try:
-                    os.unlink(tmp_name)
-                except OSError:
-                    pass
+                    with os.fdopen(fd, "wb") as tmp:
+                        for key, value in self._index.items():
+                            payload = json.dumps(
+                                {"key": key, "value": value},
+                                separators=(",", ":"), sort_keys=True)
+                            tmp.write(_frame(payload.encode("ascii")))
+                        tmp.flush()
+                        os.fsync(tmp.fileno())
+                    self._file.close()
+                    os.replace(tmp_name, self.path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp_name)
+                    except OSError:
+                        pass
+                    self._file = open(self.path, "ab")
+                    raise
                 self._file = open(self.path, "ab")
-                raise
-            self._file = open(self.path, "ab")
-            self.compactions += 1
-            after = self.path.stat().st_size
+                self.compactions += 1
+                after = self.path.stat().st_size
             return max(0, before - after)
 
     def stats(self) -> Dict[str, int]:
@@ -248,6 +320,9 @@ class SolutionStore:
             if self._file is not None:
                 self._file.close()
                 self._file = None
+            if self._lockfile is not None:
+                self._lockfile.close()
+                self._lockfile = None
 
     def __enter__(self) -> "SolutionStore":
         return self

@@ -388,3 +388,125 @@ class TestConsumersShareEngine:
         first = engine.stats.solver_calls
         plan_pipeline(resnet18(), chip, "vw-sdk", engine=engine)
         assert engine.stats.solver_calls == first
+
+
+class TestWorkspaceChurn:
+    """Regression: `_ws_all` must not pin dead threads' workspaces.
+
+    The engine once held strong references to every thread's sweep
+    Workspace forever; a server spawning short-lived threads leaked
+    one arena per thread.  Now the registry holds weakrefs and a
+    per-thread lease folds the counters into retired totals when its
+    thread dies.
+    """
+
+    def test_dead_threads_release_their_workspaces(self):
+        import gc
+        import threading
+
+        engine = MappingEngine()
+        arrays = [PIMArray.square(side) for side in (128, 256)]
+
+        def churn():
+            for _ in range(3):
+                engine.sweep_cycles([RESNET_L4], arrays, "vw-sdk")
+
+        for _ in range(8):
+            thread = threading.Thread(target=churn)
+            thread.start()
+            thread.join()
+        gc.collect()  # finalize the dead threads' leases
+        assert engine.live_workspaces() == 0
+        # ... without losing their telemetry: 8 threads x 3 sweeps
+        # reused the arena and the peak survives retirement.
+        reuses, _grows, peak_bytes = engine.workspace_counters()
+        assert reuses > 0
+        assert peak_bytes > 0
+
+    def test_live_thread_workspace_stays_live(self):
+        engine = MappingEngine()
+        engine.sweep_cycles([RESNET_L4], [PIMArray.square(256)], "vw-sdk")
+        assert engine.live_workspaces() == 1
+
+
+class TestCoalescingDeadline:
+    """Regression: a follower must never outwait its own deadline
+    blocked behind a slow leader's in-flight solve."""
+
+    @staticmethod
+    def _slow_registry():
+        """A registry whose scheme blocks its FIRST caller on a gate;
+        later callers answer instantly (the solo-solve path)."""
+        import threading
+
+        registry = SolverRegistry()
+        gate = threading.Event()
+        leader_started = threading.Event()
+        calls = []
+        lock = threading.Lock()
+
+        @registry.register_scheme("slowpoke")
+        def slowpoke_solution(layer, array):
+            """vw-sdk behind a one-shot gate."""
+            with lock:
+                calls.append(threading.get_ident())
+                first = len(calls) == 1
+            if first:
+                leader_started.set()
+                gate.wait(30.0)
+            return solve(layer, array, "vw-sdk")
+
+        return registry, gate, leader_started, calls
+
+    def test_follower_deadline_expires_with_typed_error(self):
+        import threading
+
+        from repro.runtime import Deadline, DeadlineExceededError
+
+        registry, gate, leader_started, _calls = self._slow_registry()
+        engine = MappingEngine(registry=registry)
+        request = MappingRequest(layer=RESNET_L4, array=ARRAY,
+                                 scheme="slowpoke")
+        leader_response = []
+        leader = threading.Thread(
+            target=lambda: leader_response.append(engine.map(request)))
+        leader.start()
+        try:
+            assert leader_started.wait(30.0)
+            with pytest.raises(DeadlineExceededError) as excinfo:
+                engine.map(request, deadline=Deadline(0.05))
+            assert excinfo.value.where == "engine.coalesce"
+            assert "coalesced_behind" in excinfo.value.partial
+        finally:
+            gate.set()
+            leader.join(30.0)
+        # The leader was never disturbed by the follower's expiry.
+        assert leader_response[0].solution.cycles == \
+            solve(RESNET_L4, ARRAY, "vw-sdk").cycles
+
+    def test_follower_clock_race_falls_back_to_solo_solve(self):
+        import threading
+
+        from repro.runtime import Deadline
+
+        registry, gate, leader_started, calls = self._slow_registry()
+        engine = MappingEngine(registry=registry)
+        request = MappingRequest(layer=RESNET_L4, array=ARRAY,
+                                 scheme="slowpoke")
+        leader = threading.Thread(target=lambda: engine.map(request))
+        leader.start()
+        try:
+            assert leader_started.wait(30.0)
+            # A frozen clock: `event.wait(remaining)` times out while
+            # the deadline itself never expires — the race between the
+            # wall clock the Event sees and the monotonic budget.  The
+            # follower must solo-solve rather than re-queue.
+            frozen = Deadline(0.05, clock=lambda: 0.0)
+            response = engine.map(request, deadline=frozen)
+            assert response.cached is False
+            assert len(calls) == 2       # leader + solo follower
+            assert response.solution.cycles == \
+                solve(RESNET_L4, ARRAY, "vw-sdk").cycles
+        finally:
+            gate.set()
+            leader.join(30.0)

@@ -237,3 +237,33 @@ class TestRuntimeFlags:
         assert code == 2
         err = capsys.readouterr().err
         assert err.startswith("vwsdk: ")   # typed one-liner, no traceback
+
+
+class TestServeCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert (args.host, args.port, args.workers) == ("127.0.0.1", 8080, 2)
+        assert args.backend == "auto"
+        assert args.fault_injection is False
+
+    def test_dispatches_to_server(self, monkeypatch):
+        calls = {}
+
+        def fake_serve(host, port, **kwargs):
+            calls["host"], calls["port"] = host, port
+            calls.update(kwargs)
+
+        import repro.server
+        monkeypatch.setattr(repro.server, "serve", fake_serve)
+        assert main(["serve", "--port", "0", "--workers", "3",
+                     "--store", "l2.jsonl", "--backend", "numpy",
+                     "--fault-injection"]) == 0
+        assert calls["port"] == 0
+        assert calls["workers"] == 3
+        assert calls["store_path"] == "l2.jsonl"
+        assert calls["backend"] == "numpy"
+        assert calls["fault_injection"] is True
+
+    def test_invalid_workers_exit_cleanly(self):
+        with pytest.raises(SystemExit, match="serve:"):
+            main(["serve", "--workers", "0", "--port", "0"])

@@ -722,3 +722,68 @@ def test_engine_canonical_under_every_fault_plan(plan, tmp_path):
             got_sweep = engine.sweep_cycles(resnet18(), arrays)
     assert got_solutions == want_solutions
     np.testing.assert_array_equal(got_sweep, want_sweep)
+
+
+class TestStoreMultiProcess:
+    """Regression: the JSONL store is now safe for a *fleet* — many
+    processes appending and compacting one file concurrently, guarded
+    by an advisory ``flock`` on a stable sidecar lock file.
+
+    Before the fix, a sibling's ``compact()`` (rewrite + ``os.replace``)
+    could orphan another process's append handle or scan a half-written
+    frame as a torn tail and truncate it away.
+    """
+
+    WRITER = """
+import sys
+
+sys.path.insert(0, sys.argv[4])
+from repro.runtime import SolutionStore
+
+path, worker, count = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+with SolutionStore(path) as store:
+    for i in range(count):
+        store.put("w%d-k%d" % (worker, i), {"worker": worker, "i": i})
+        if i % 13 == 5:
+            store.compact()
+"""
+
+    def test_parallel_writers_with_concurrent_compaction(self, tmp_path):
+        import subprocess
+        import sys as _sys
+        from pathlib import Path
+
+        import repro
+
+        src = str(Path(repro.__file__).resolve().parents[1])
+        path = tmp_path / "fleet.jsonl"
+        script = tmp_path / "writer.py"
+        script.write_text(self.WRITER)
+        workers, count = 4, 40
+        procs = [subprocess.Popen([_sys.executable, str(script), str(path),
+                                   str(worker), str(count), src])
+                 for worker in range(workers)]
+        for proc in procs:
+            assert proc.wait(timeout=240) == 0
+        with SolutionStore(path) as store:
+            stats = store.stats()
+            assert stats["truncated_bytes"] == 0   # no frame ever torn
+            assert len(store) == workers * count   # every key survived
+            for worker in range(workers):
+                for i in range(count):
+                    assert store.get(f"w{worker}-k{i}") == \
+                        {"worker": worker, "i": i}
+
+    def test_foreign_appends_survive_local_compaction(self, tmp_path):
+        """Two handles on one file: B's records must survive A's
+        compact even though A never `put` them."""
+        path = tmp_path / "shared.jsonl"
+        with SolutionStore(path) as a, SolutionStore(path) as b:
+            a.put("from-a", 1)
+            b.put("from-b", 2)
+            a.compact()            # must carry b's record forward
+            b.put("from-b2", 3)    # b's handle survives the replace
+        with SolutionStore(path) as store:
+            assert store.get("from-a") == 1
+            assert store.get("from-b") == 2
+            assert store.get("from-b2") == 3
